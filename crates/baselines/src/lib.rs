@@ -1,0 +1,25 @@
+//! # lp-baselines — the systems LibPreemptible is compared against
+//!
+//! * [`shinjuku`] — the prior state of the art: a dedicated dispatcher
+//!   core with posted-IPI preemption and a centralized queue (§V-A's
+//!   main comparison).
+//! * [`libinger`] — preemptible functions on kernel timers + signals
+//!   (the Libinger/libturquoise lineage).
+//! * [`ktimer`] — the four timer-delivery strategies of Fig. 11
+//!   (per-thread creation-time/aligned, per-process chained, and
+//!   LibUtimer's user-timer).
+//!
+//! The "LibPreemptible w/o UINTR" ablation (Fig. 8's orange line) and
+//! the non-preemptive baseline live in the core crate as
+//! [`libpreemptible::PreemptMech`] variants, since they share the
+//! runtime.
+
+#![warn(missing_docs)]
+
+pub mod ktimer;
+pub mod libinger;
+pub mod shinjuku;
+
+pub use ktimer::{measure, TimerOverhead, TimerStrategy};
+pub use libinger::{run_libinger, LibingerConfig};
+pub use shinjuku::{run_shinjuku, ShinjukuConfig};

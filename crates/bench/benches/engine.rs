@@ -1,0 +1,106 @@
+//! Microbenchmarks of the substrate itself: event-queue throughput,
+//! histogram recording, workload sampling, and end-to-end simulated
+//! events/second — the numbers that bound how big a paper-scale run
+//! can be.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use libpreemptible::{run, FcfsPreempt, RuntimeConfig, ServiceSource, WorkloadSpec};
+use lp_sim::{EventQueue, SimDur, SimTime};
+use lp_stats::Histogram;
+use lp_workload::{PhasedService, RateSchedule, ServiceDist, Zipf};
+use rand::Rng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut r = lp_sim::rng::rng(1, 0);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(r.gen_range(0..1_000_000)), i);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("record_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            let mut r = lp_sim::rng::rng(2, 0);
+            for _ in 0..100_000 {
+                h.record(r.gen_range(1..10_000_000));
+            }
+            black_box(h.p99())
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("zipf_100k", |b| {
+        let z = Zipf::new(1_000_000, 0.99);
+        let mut r = lp_sim::rng::rng(3, 0);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(z.sample(&mut r));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("bimodal_100k", |b| {
+        let d = ServiceDist::workload_a1();
+        let mut r = lp_sim::rng::rng(4, 0);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(d.sample(&mut r).as_nanos());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    // ~10k requests with preemptions: reports simulated-requests/sec.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("a1_10k_requests", |b| {
+        b.iter(|| {
+            let dist = ServiceDist::workload_a1();
+            let rate = dist.rate_for_utilization(0.8, 4);
+            let duration = SimDur::from_secs_f64(10_000.0 / rate);
+            let r = run(
+                RuntimeConfig::default(),
+                Box::new(FcfsPreempt::fixed(SimDur::micros(5))),
+                WorkloadSpec {
+                    source: ServiceSource::Phased(PhasedService::constant(dist)),
+                    arrivals: RateSchedule::Constant(rate),
+                    duration,
+                    warmup: SimDur::ZERO,
+                },
+            );
+            black_box(r.completions)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(engine, bench_event_queue, bench_histogram, bench_workload, bench_runtime);
+criterion_main!(engine);

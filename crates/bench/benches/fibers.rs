@@ -1,0 +1,60 @@
+//! Real-hardware microbenchmarks of the fiber layer: the numbers the
+//! simulated `HwCosts.fcontext_switch` constant (40 ns) stands in for.
+//!
+//! `fibers/switch_pair` measures a full yield+resume round trip (two
+//! stack switches), so one switch is half the reported time — on
+//! typical x86-64 parts this lands in the tens of nanoseconds,
+//! validating the calibrated constant.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use lp_fibers::{Fiber, RoundRobinRunner, Status};
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fibers");
+    // One iteration = resume into the fiber + yield back: 2 switches.
+    g.throughput(Throughput::Elements(2));
+    g.bench_function("switch_pair", |b| {
+        let mut fiber = Fiber::new(64 * 1024, |y| loop {
+            y.yield_now();
+        });
+        b.iter(|| {
+            let s = fiber.resume(None);
+            black_box(s == Status::Yielded)
+        });
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("launch_complete", |b| {
+        // Full fn_launch lifecycle: stack prep + first switch + final
+        // switch (fresh stack each time; pooling is benched below).
+        b.iter(|| {
+            let mut f = Fiber::new(16 * 1024, |_| {});
+            black_box(f.resume(None) == Status::Completed)
+        });
+    });
+
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("rr_64_tasks_pooled", |b| {
+        let mut rr = RoundRobinRunner::new(Duration::from_millis(5));
+        // Warm the pool.
+        for _ in 0..64 {
+            rr.spawn(|_| {});
+        }
+        rr.run();
+        b.iter(|| {
+            for _ in 0..64 {
+                rr.spawn(|y| {
+                    y.yield_now();
+                });
+            }
+            black_box(rr.run().completed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(fibers, bench_switch);
+criterion_main!(fibers);

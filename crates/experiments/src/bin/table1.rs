@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    println!("{}", lp_experiments::table1::run().render());
+}

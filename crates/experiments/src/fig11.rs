@@ -1,0 +1,99 @@
+//! Fig. 11 — scalability of timer delivery overhead: four strategies ×
+//! thread counts, 1000 interrupts at a 100 us interval.
+
+use lp_sim::SimDur;
+use lp_stats::Table;
+
+use lp_baselines::ktimer::{measure, TimerStrategy};
+
+use crate::common::Scale;
+
+/// One cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerCell {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Thread count.
+    pub threads: usize,
+    /// Mean delivery overhead, us.
+    pub mean_us: f64,
+    /// Max delivery overhead, us.
+    pub max_us: f64,
+}
+
+/// The thread-count axis.
+pub const THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the grid.
+pub fn run_fig11(scale: Scale, seed: u64) -> Vec<TimerCell> {
+    let rounds = match scale {
+        Scale::Quick => 100,
+        Scale::Full => 1_000,
+    };
+    let mut out = Vec::new();
+    for strategy in TimerStrategy::ALL {
+        for &threads in &THREADS {
+            let o = measure(strategy, threads, rounds, SimDur::micros(100), seed);
+            out.push(TimerCell {
+                strategy: strategy.name(),
+                threads,
+                mean_us: o.mean_us,
+                max_us: o.max_us,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the grid, one row per (strategy, threads).
+pub fn table(cells: &[TimerCell]) -> Table {
+    let mut t = Table::new(&["strategy", "threads", "mean overhead (us)", "max (us)"])
+        .with_title("Fig 11: timer delivery overhead scalability (1000 interrupts @ 100us)");
+    for c in cells {
+        t.row(&[
+            c.strategy.to_string(),
+            c.threads.to_string(),
+            format!("{:.2}", c.mean_us),
+            format!("{:.2}", c.max_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(cells: &[TimerCell], s: &str, n: usize) -> f64 {
+        cells
+            .iter()
+            .find(|c| c.strategy.contains(s) && c.threads == n)
+            .expect("cell")
+            .mean_us
+    }
+
+    #[test]
+    fn fig11_shape() {
+        let cells = run_fig11(Scale::Quick, 17);
+        assert_eq!(cells.len(), 4 * THREADS.len());
+        // Creation-time explodes superlinearly toward ~100us at 32.
+        let c32 = cell(&cells, "creation-time", 32);
+        let c4 = cell(&cells, "creation-time", 4);
+        assert!(c32 > 4.0 * c4, "not superlinear: {c4} -> {c32}");
+        assert!(c32 > 50.0, "storm too mild: {c32}");
+        // Aligned is ~10x better than creation-time at 32 threads.
+        let a32 = cell(&cells, "aligned", 32);
+        assert!(c32 / a32 > 5.0, "aligned gain only {}", c32 / a32);
+        // User-timer achieves the best scalability.
+        let u32 = cell(&cells, "user-timer", 32);
+        for s in ["creation-time", "aligned", "chain"] {
+            assert!(u32 < cell(&cells, s, 32), "user-timer not best vs {s}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let cells = run_fig11(Scale::Quick, 17);
+        assert!(table(&cells).render().contains("user-timer"));
+    }
+}

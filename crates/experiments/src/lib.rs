@@ -1,0 +1,37 @@
+//! # lp-experiments — regenerating every table and figure of the paper
+//!
+//! One module per artifact; one binary per module (plus `all`). Each
+//! module exposes a `run_*` returning structured results and a
+//! `table`/`tables` rendering exactly the rows the paper reports. The
+//! experiment index lives in DESIGN.md §3; paper-vs-measured deltas in
+//! EXPERIMENTS.md.
+//!
+//! Run everything at paper scale:
+//!
+//! ```text
+//! cargo run --release -p lp-experiments --bin all
+//! ```
+//!
+//! or a single artifact, e.g. `--bin fig8`. Set `LP_SCALE=quick` for a
+//! fast pass.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod ext;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table4;
+
+pub use common::{PaperWorkload, Scale, SystemUnderTest};
+
+/// Default seed used by the experiment binaries.
+pub const DEFAULT_SEED: u64 = 2024;

@@ -1,0 +1,126 @@
+//! x86-64 stack switching — the `fcontext` core (paper §IV-B).
+//!
+//! One primitive does all the work: [`switch_stacks`] saves the
+//! callee-saved register frame on the current stack, stores the stack
+//! pointer, installs another stack pointer, restores its frame, and
+//! returns there. Everything else (what lives on the new stack) is set
+//! up by [`prepare_stack`], which files a bootstrap frame whose return
+//! address is a trampoline into [`crate::fiber`]'s entry function.
+//!
+//! Only `x86_64` + System V ABI is implemented, matching the paper's
+//! testbed; the crate is `cfg`-gated accordingly.
+
+#![allow(clippy::missing_safety_doc)] // documented on each item
+
+use core::arch::naked_asm;
+
+/// The saved machine state of a suspended fiber: just its stack
+/// pointer. Everything else lives in the frame that pointer points at.
+pub type StackPointer = usize;
+
+/// Switches stacks: saves the current callee-saved frame, stores `rsp`
+/// into `*save`, loads `rsp` from `*restore`, restores that frame, and
+/// returns into the restored context with `arg` as the switch's return
+/// value (in `rax`).
+///
+/// # Safety
+///
+/// * `save` must be a valid, exclusive location to store the outgoing
+///   stack pointer.
+/// * `*restore` must be a stack pointer previously produced by this
+///   function or by [`prepare_stack`], whose stack is live and not in
+///   use by any other execution.
+/// * The restored context resumes as if its own `switch_stacks` call
+///   returned `arg` — caller and fiber must agree on the protocol.
+#[unsafe(naked)]
+pub unsafe extern "sysv64" fn switch_stacks(
+    save: *mut StackPointer,
+    restore: *const StackPointer,
+    arg: usize,
+) -> usize {
+    naked_asm!(
+        // Save the System V callee-saved frame on the current stack.
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        // Install the target stack and restore its frame.
+        "mov rsp, [rsi]",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        // The switch "returns" arg to the resumed context.
+        "mov rax, rdx",
+        "ret",
+    )
+}
+
+/// First-entry trampoline. A fresh fiber's bootstrap frame makes
+/// [`switch_stacks`]' `ret` land here with the switch argument in
+/// `rax`. It forwards that argument as the first parameter of
+/// `entry`, with the stack explicitly 16-byte aligned for the call.
+///
+/// # Safety
+///
+/// Only reachable through a frame built by [`prepare_stack`].
+#[unsafe(naked)]
+unsafe extern "sysv64" fn trampoline() {
+    naked_asm!(
+        "mov rdi, rax",
+        "and rsp, -16",
+        "call {entry}",
+        // `entry` never returns; trap if it somehow does.
+        "ud2",
+        entry = sym crate::fiber::fiber_entry,
+    )
+}
+
+/// Files the bootstrap frame for a fresh fiber on `stack_top`
+/// (exclusive upper end, 16-byte aligned) and returns the stack
+/// pointer to hand to [`switch_stacks`].
+///
+/// Frame layout (downward from `stack_top`):
+/// `[trampoline address][rbp=0][rbx=0][r12=0][r13=0][r14=0][r15=0]`
+///
+/// # Safety
+///
+/// `stack_top` must be the one-past-the-end address of a writable
+/// region of at least 7 machine words.
+pub unsafe fn prepare_stack(stack_top: *mut u8) -> StackPointer {
+    debug_assert_eq!(stack_top as usize % 16, 0, "stack top must be 16-aligned");
+    let mut sp = stack_top as *mut usize;
+    // Return address the final `ret` of switch_stacks will pop.
+    sp = sp.sub(1);
+    sp.write(trampoline as *const () as usize);
+    // Zeroed callee-saved frame (rbp, rbx, r12..r15), popped in
+    // reverse order by switch_stacks.
+    for _ in 0..6 {
+        sp = sp.sub(1);
+        sp.write(0);
+    }
+    sp as StackPointer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_stack_layout() {
+        let mut buf = vec![0u8; 1024];
+        let top = unsafe { buf.as_mut_ptr().add(1024) };
+        let top = ((top as usize) & !15) as *mut u8;
+        let sp = unsafe { prepare_stack(top) };
+        // 7 words below the top.
+        assert_eq!(top as usize - sp, 7 * 8);
+        // The word the final `ret` pops is the trampoline.
+        let ret_slot = unsafe { *(top as *const usize).sub(1) };
+        assert_eq!(ret_slot, trampoline as *const () as usize);
+    }
+}

@@ -1,0 +1,51 @@
+//! # lp-fibers — real preemptible functions (not simulated)
+//!
+//! The rest of this repository reproduces LibPreemptible's *evaluation*
+//! on a simulated machine because UINTR hardware is unavailable. This
+//! crate is the complementary artifact: the paper's §IV context layer
+//! **actually running** — fcontext-style stack switching in x86-64
+//! assembly, the `fn_launch` / `fn_resume` / `fn_completed` API, a
+//! pooled-stack allocator, and the Fig. 7 round-robin scheduler —
+//! executing real closures on real switched stacks.
+//!
+//! Asynchronous UINTR preemption is replaced by *deadline-checked
+//! preemption points* ([`Yielder::preempt_point`]): the slice armed at
+//! `resume` time is checked against a real [`std::time::Instant`]
+//! deadline, which is exactly the deadline-address discipline LibUtimer
+//! imposes, minus the hardware interrupt that makes the check
+//! asynchronous. On UINTR silicon the same control structure is driven
+//! by the user-interrupt handler instead.
+//!
+//! ```
+//! use lp_fibers::{Fiber, Status};
+//! use std::time::{Duration, Instant};
+//!
+//! // fn_launch: create and run a preemptible function with a slice.
+//! let mut f = Fiber::new(32 * 1024, |y| {
+//!     let end = Instant::now() + Duration::from_micros(400);
+//!     while Instant::now() < end {
+//!         y.preempt_point(); // safe point, as LibUtimer's deadline
+//!     }
+//! });
+//! let mut status = f.resume(Some(Duration::from_micros(100)));
+//! // fn_resume until fn_completed.
+//! while !f.completed() {
+//!     status = f.resume(Some(Duration::from_micros(100)));
+//! }
+//! assert_eq!(status, Status::Completed);
+//! ```
+//!
+//! Only `x86_64` Linux/System-V is supported, matching the paper's
+//! testbed.
+
+#![warn(missing_docs)]
+#![cfg(all(target_arch = "x86_64", unix))]
+
+mod arch;
+pub mod fiber;
+pub mod rr;
+pub mod stack;
+
+pub use fiber::{Fiber, Status, Yielder};
+pub use rr::{RoundRobinRunner, RoundRobinStats};
+pub use stack::{Stack, StackPool, DEFAULT_STACK_SIZE};

@@ -1,0 +1,228 @@
+//! Cores, the TSC, and per-core time accounting.
+//!
+//! Fig. 1 (right) plots "overall CPU time spent in preemption vs.
+//! execution", so overhead accounting is a first-class feature of the
+//! simulated machine: every simulated core tracks where its cycles went,
+//! by category, and experiments read the breakdown directly.
+
+use lp_sim::{SimDur, SimTime};
+
+/// Identifies a logical core (hyperthread) of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// The timestamp counter: converts between simulated nanoseconds and TSC
+/// cycles at a fixed frequency (the paper pins 1.7 GHz with turbo off).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tsc {
+    freq_ghz: f64,
+}
+
+impl Default for Tsc {
+    fn default() -> Self {
+        Tsc { freq_ghz: 1.7 }
+    }
+}
+
+impl Tsc {
+    /// A TSC at `freq_ghz` gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive and finite.
+    pub fn new(freq_ghz: f64) -> Self {
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "bad TSC frequency {freq_ghz}"
+        );
+        Tsc { freq_ghz }
+    }
+
+    /// The frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// TSC reading at simulated instant `t`.
+    pub fn cycles_at(&self, t: SimTime) -> u64 {
+        (t.as_nanos() as f64 * self.freq_ghz).round() as u64
+    }
+
+    /// Converts a cycle count to a duration.
+    pub fn cycles_to_dur(&self, cycles: u64) -> SimDur {
+        SimDur::nanos((cycles as f64 / self.freq_ghz).round() as u64)
+    }
+
+    /// Converts a duration to cycles.
+    pub fn dur_to_cycles(&self, d: SimDur) -> u64 {
+        (d.as_nanos() as f64 * self.freq_ghz).round() as u64
+    }
+}
+
+/// Where a core's time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeClass {
+    /// Useful request execution.
+    Work,
+    /// Preemption mechanism: interrupt delivery, handlers, the context
+    /// switches it forces (Fig. 1 right's numerator).
+    Preemption,
+    /// Dispatch/scheduling decisions and queue manipulation.
+    Dispatch,
+    /// Timer-core polling (LibUtimer's dedicated core).
+    TimerPoll,
+    /// Kernel activity charged to this core (signal delivery, syscalls).
+    Kernel,
+}
+
+/// Per-core cycle accounting.
+///
+/// ```
+/// use lp_hw::cpu::{CoreClock, TimeClass};
+/// use lp_sim::{SimDur, SimTime};
+/// let mut c = CoreClock::new();
+/// c.charge(TimeClass::Work, SimDur::micros(90));
+/// c.charge(TimeClass::Preemption, SimDur::micros(10));
+/// assert_eq!(c.total_charged(), SimDur::micros(100));
+/// assert!((c.fraction(TimeClass::Preemption, SimTime::from_nanos(100_000)) - 0.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoreClock {
+    work: SimDur,
+    preemption: SimDur,
+    dispatch: SimDur,
+    timer_poll: SimDur,
+    kernel: SimDur,
+}
+
+impl CoreClock {
+    /// A fresh accounting block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `d` to the given class.
+    pub fn charge(&mut self, class: TimeClass, d: SimDur) {
+        let slot = match class {
+            TimeClass::Work => &mut self.work,
+            TimeClass::Preemption => &mut self.preemption,
+            TimeClass::Dispatch => &mut self.dispatch,
+            TimeClass::TimerPoll => &mut self.timer_poll,
+            TimeClass::Kernel => &mut self.kernel,
+        };
+        *slot = slot.saturating_add(d);
+    }
+
+    /// Time charged to one class.
+    pub fn charged(&self, class: TimeClass) -> SimDur {
+        match class {
+            TimeClass::Work => self.work,
+            TimeClass::Preemption => self.preemption,
+            TimeClass::Dispatch => self.dispatch,
+            TimeClass::TimerPoll => self.timer_poll,
+            TimeClass::Kernel => self.kernel,
+        }
+    }
+
+    /// Sum over all classes.
+    pub fn total_charged(&self) -> SimDur {
+        self.work + self.preemption + self.dispatch + self.timer_poll + self.kernel
+    }
+
+    /// Idle time given the wall-clock `elapsed` on this core.
+    pub fn idle(&self, elapsed: SimTime) -> SimDur {
+        SimDur::nanos(elapsed.as_nanos()).saturating_sub(self.total_charged())
+    }
+
+    /// Fraction of elapsed wall-clock spent in `class`.
+    pub fn fraction(&self, class: TimeClass, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.charged(class).as_nanos() as f64 / elapsed.as_nanos() as f64
+    }
+
+    /// Preemption overhead normalized to useful work — the y-axis of
+    /// Fig. 1 (right).
+    pub fn preemption_over_work(&self) -> f64 {
+        if self.work.is_zero() {
+            return 0.0;
+        }
+        self.preemption.as_nanos() as f64 / self.work.as_nanos() as f64
+    }
+
+    /// Merges another clock into this one (for machine-wide totals).
+    pub fn merge(&mut self, other: &CoreClock) {
+        self.work += other.work;
+        self.preemption += other.preemption;
+        self.dispatch += other.dispatch;
+        self.timer_poll += other.timer_poll;
+        self.kernel += other.kernel;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_roundtrip() {
+        let tsc = Tsc::default();
+        assert_eq!(tsc.freq_ghz(), 1.7);
+        let t = SimTime::from_nanos(1_000);
+        assert_eq!(tsc.cycles_at(t), 1_700);
+        assert_eq!(tsc.cycles_to_dur(1_700), SimDur::nanos(1_000));
+        assert_eq!(tsc.dur_to_cycles(SimDur::micros(1)), 1_700);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad TSC frequency")]
+    fn tsc_rejects_zero() {
+        Tsc::new(0.0);
+    }
+
+    #[test]
+    fn clock_accounting() {
+        let mut c = CoreClock::new();
+        c.charge(TimeClass::Work, SimDur::micros(70));
+        c.charge(TimeClass::Preemption, SimDur::micros(7));
+        c.charge(TimeClass::Dispatch, SimDur::micros(3));
+        assert_eq!(c.charged(TimeClass::Work), SimDur::micros(70));
+        assert_eq!(c.total_charged(), SimDur::micros(80));
+        assert_eq!(c.idle(SimTime::from_nanos(100_000)), SimDur::micros(20));
+        assert!((c.preemption_over_work() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_merge() {
+        let mut a = CoreClock::new();
+        a.charge(TimeClass::Work, SimDur::micros(1));
+        let mut b = CoreClock::new();
+        b.charge(TimeClass::Work, SimDur::micros(2));
+        b.charge(TimeClass::Kernel, SimDur::micros(5));
+        a.merge(&b);
+        assert_eq!(a.charged(TimeClass::Work), SimDur::micros(3));
+        assert_eq!(a.charged(TimeClass::Kernel), SimDur::micros(5));
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let c = CoreClock::new();
+        assert_eq!(c.preemption_over_work(), 0.0);
+        assert_eq!(c.fraction(TimeClass::Work, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn idle_never_negative() {
+        let mut c = CoreClock::new();
+        c.charge(TimeClass::Work, SimDur::micros(10));
+        // Elapsed less than charged (can happen transiently mid-event):
+        assert_eq!(c.idle(SimTime::from_nanos(5_000)), SimDur::ZERO);
+    }
+}

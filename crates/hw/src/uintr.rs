@@ -1,0 +1,414 @@
+//! The UINTR architectural model.
+//!
+//! Implements the user-interrupt state machines of §III-A / Fig. 3 of the
+//! paper (and the SDM chapter they summarize):
+//!
+//! * Each **receiver** thread owns a [`Upid`] (User Posted Interrupt
+//!   Descriptor) holding the outstanding-notification (`ON`) and
+//!   suppress-notification (`SN`) bits plus the 64-bit posted-interrupt
+//!   request bitmap (`PUIR`, one bit per user vector).
+//! * Each **sender** thread owns a [`Uitt`] (User Interrupt Target Table)
+//!   of [`UittEntry`]s mapping a small index to (UPID, vector);
+//!   `SENDUIPI <index>` posts the vector and, unless suppressed or
+//!   already outstanding, sends a notification to the receiver's CPU.
+//! * Delivery depends on the receiver's state: running with UIF set
+//!   (deliverable), running with UIF clear (pends until `UIRET`/`STUI`),
+//!   or blocked in the kernel (kernel-assisted wakeup — the slow path the
+//!   paper measures as "uintrFd (blocked)" in Table IV).
+//!
+//! The model is a *pure* state machine — latencies are sampled by the
+//! caller from [`HwCosts`](crate::HwCosts) — so its transitions can be
+//! unit-tested exhaustively.
+
+use crate::cpu::CoreId;
+
+/// Maximum user-interrupt vectors per receiver thread (§III-A: "User
+/// interrupts have 64 interrupt vectors per thread").
+pub const UINTR_VECTORS: u8 = 64;
+
+/// Handle to a registered receiver descriptor inside a [`UintrDomain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UpidHandle(usize);
+
+/// User Posted Interrupt Descriptor — the receiver-side mailbox.
+#[derive(Debug, Clone, Default)]
+pub struct Upid {
+    /// `ON` — an unprocessed notification is outstanding.
+    pub outstanding: bool,
+    /// `SN` — notifications are suppressed (requests still recorded).
+    pub suppress: bool,
+    /// `PUIR` — pending user-interrupt request bitmap, bit i = vector i.
+    pub pending: u64,
+    /// Notification destination: the core the receiver currently runs
+    /// on, if any.
+    pub ndst: Option<CoreId>,
+}
+
+/// Scheduling/masking state of a receiver thread at send time. The
+/// runtime layer knows this; the architecture reacts to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverState {
+    /// On-CPU with user interrupts enabled (`UIF = 1`).
+    RunningUifSet,
+    /// On-CPU but masked (`UIF = 0`, e.g. inside a user handler).
+    RunningUifClear,
+    /// Blocked in the kernel (e.g. waiting on `uintr_fd`). Delivery
+    /// falls back to an ordinary interrupt that wakes the thread.
+    Blocked,
+}
+
+/// What `SENDUIPI` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Notification dispatched to a running receiver; a user interrupt
+    /// will be delivered after the running-delivery latency.
+    NotifiedRunning,
+    /// Receiver blocked; kernel-assisted wakeup dispatched (slow path).
+    NotifiedBlocked,
+    /// Vector recorded but receiver is masked; it will drain on unmask.
+    PendedMasked,
+    /// Vector recorded; a previous notification is still outstanding, so
+    /// no new one is sent (hardware coalescing).
+    Coalesced,
+    /// Vector recorded but notifications are suppressed (`SN = 1`).
+    Suppressed,
+}
+
+/// Error returned for malformed sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UintrError {
+    /// The UITT index was out of range or the entry invalid — the
+    /// hardware raises `#GP`; we surface it as an error.
+    InvalidUittIndex,
+    /// The UPID handle does not name a registered receiver.
+    StaleUpid,
+}
+
+impl std::fmt::Display for UintrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UintrError::InvalidUittIndex => write!(f, "invalid or unset UITT entry"),
+            UintrError::StaleUpid => write!(f, "UPID handle no longer registered"),
+        }
+    }
+}
+
+impl std::error::Error for UintrError {}
+
+/// One sender-side UITT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UittEntry {
+    /// Target receiver descriptor.
+    pub upid: UpidHandle,
+    /// User vector 0..64 posted on send.
+    pub vector: u8,
+}
+
+/// A sender's User Interrupt Target Table.
+///
+/// The kernel-maintained table that §VII-B identifies as LibPreemptible's
+/// security boundary: a sender can only ever signal targets previously
+/// installed here.
+#[derive(Debug, Clone, Default)]
+pub struct Uitt {
+    entries: Vec<Option<UittEntry>>,
+}
+
+impl Uitt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs an entry, returning its index (the operand to
+    /// `SENDUIPI`). Mirrors `uintr_register_sender(2)`.
+    pub fn register(&mut self, upid: UpidHandle, vector: u8) -> usize {
+        assert!(vector < UINTR_VECTORS, "vector out of range");
+        // Reuse a free slot if any.
+        if let Some(i) = self.entries.iter().position(Option::is_none) {
+            self.entries[i] = Some(UittEntry { upid, vector });
+            return i;
+        }
+        self.entries.push(Some(UittEntry { upid, vector }));
+        self.entries.len() - 1
+    }
+
+    /// Removes an entry (`uintr_unregister_sender(2)`).
+    pub fn unregister(&mut self, index: usize) {
+        if let Some(e) = self.entries.get_mut(index) {
+            *e = None;
+        }
+    }
+
+    /// Looks up a live entry.
+    pub fn get(&self, index: usize) -> Option<UittEntry> {
+        self.entries.get(index).copied().flatten()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// `true` when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The set of registered receivers plus the send state machine.
+///
+/// ```
+/// use lp_hw::uintr::{ReceiverState, SendOutcome, UintrDomain};
+///
+/// let mut dom = UintrDomain::new();
+/// let receiver = dom.register_receiver();
+/// let mut uitt = lp_hw::uintr::Uitt::new();
+/// let idx = uitt.register(receiver, 0);
+///
+/// let entry = uitt.get(idx).unwrap();
+/// let out = dom
+///     .senduipi(entry, ReceiverState::RunningUifSet)
+///     .unwrap();
+/// assert_eq!(out, SendOutcome::NotifiedRunning);
+/// // The receiver acknowledges and drains the pending vector bitmap.
+/// assert_eq!(dom.acknowledge(receiver).unwrap(), 1 << 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct UintrDomain {
+    upids: Vec<Option<Upid>>,
+}
+
+impl UintrDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a receiver, allocating its UPID
+    /// (`uintr_register_handler(2)`).
+    pub fn register_receiver(&mut self) -> UpidHandle {
+        if let Some(i) = self.upids.iter().position(Option::is_none) {
+            self.upids[i] = Some(Upid::default());
+            return UpidHandle(i);
+        }
+        self.upids.push(Some(Upid::default()));
+        UpidHandle(self.upids.len() - 1)
+    }
+
+    /// Tears down a receiver (`uintr_unregister_handler(2)`); later sends
+    /// through stale UITT entries fail with [`UintrError::StaleUpid`].
+    pub fn unregister_receiver(&mut self, h: UpidHandle) {
+        if let Some(u) = self.upids.get_mut(h.0) {
+            *u = None;
+        }
+    }
+
+    fn upid_mut(&mut self, h: UpidHandle) -> Result<&mut Upid, UintrError> {
+        self.upids
+            .get_mut(h.0)
+            .and_then(Option::as_mut)
+            .ok_or(UintrError::StaleUpid)
+    }
+
+    /// Read-only view of a receiver's UPID.
+    pub fn upid(&self, h: UpidHandle) -> Option<&Upid> {
+        self.upids.get(h.0).and_then(Option::as_ref)
+    }
+
+    /// Executes the posting half of `SENDUIPI`: records the vector in
+    /// the UPID and decides whether a notification goes out. The caller
+    /// translates the outcome into latency using
+    /// [`HwCosts`](crate::HwCosts).
+    pub fn senduipi(
+        &mut self,
+        entry: UittEntry,
+        receiver: ReceiverState,
+    ) -> Result<SendOutcome, UintrError> {
+        let upid = self.upid_mut(entry.upid)?;
+        upid.pending |= 1u64 << entry.vector;
+        if upid.suppress {
+            return Ok(SendOutcome::Suppressed);
+        }
+        if upid.outstanding {
+            return Ok(SendOutcome::Coalesced);
+        }
+        match receiver {
+            ReceiverState::RunningUifSet => {
+                upid.outstanding = true;
+                Ok(SendOutcome::NotifiedRunning)
+            }
+            ReceiverState::RunningUifClear => {
+                // Notification reaches the core but user-interrupt
+                // delivery pends on UIF.
+                upid.outstanding = true;
+                Ok(SendOutcome::PendedMasked)
+            }
+            ReceiverState::Blocked => {
+                upid.outstanding = true;
+                Ok(SendOutcome::NotifiedBlocked)
+            }
+        }
+    }
+
+    /// Receiver-side delivery: clears `ON`, drains and returns the
+    /// pending vector bitmap (the handler sees the highest vector; we
+    /// hand back all bits for the runtime to dispatch).
+    pub fn acknowledge(&mut self, h: UpidHandle) -> Result<u64, UintrError> {
+        let upid = self.upid_mut(h)?;
+        upid.outstanding = false;
+        Ok(std::mem::take(&mut upid.pending))
+    }
+
+    /// Sets/clears `SN`. The kernel sets `SN` while the receiver is
+    /// context-switched out without blocking semantics.
+    pub fn set_suppress(&mut self, h: UpidHandle, on: bool) -> Result<(), UintrError> {
+        self.upid_mut(h)?.suppress = on;
+        Ok(())
+    }
+
+    /// Updates the notification destination when the receiver migrates.
+    pub fn set_ndst(&mut self, h: UpidHandle, core: Option<CoreId>) -> Result<(), UintrError> {
+        self.upid_mut(h)?.ndst = core;
+        Ok(())
+    }
+
+    /// `true` if the receiver has pending vectors recorded.
+    pub fn has_pending(&self, h: UpidHandle) -> bool {
+        self.upid(h).map(|u| u.pending != 0).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (UintrDomain, Uitt, UpidHandle, usize) {
+        let mut dom = UintrDomain::new();
+        let h = dom.register_receiver();
+        let mut uitt = Uitt::new();
+        let idx = uitt.register(h, 3);
+        (dom, uitt, h, idx)
+    }
+
+    #[test]
+    fn send_to_running_notifies_once_then_coalesces() {
+        let (mut dom, uitt, h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::RunningUifSet).unwrap(),
+            SendOutcome::NotifiedRunning
+        );
+        // Second send before acknowledge: coalesced into the same
+        // notification.
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::RunningUifSet).unwrap(),
+            SendOutcome::Coalesced
+        );
+        assert_eq!(dom.acknowledge(h).unwrap(), 1 << 3);
+        // After acknowledge the next send notifies again.
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::RunningUifSet).unwrap(),
+            SendOutcome::NotifiedRunning
+        );
+    }
+
+    #[test]
+    fn suppressed_sends_record_but_do_not_notify() {
+        let (mut dom, uitt, h, idx) = setup();
+        dom.set_suppress(h, true).unwrap();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::RunningUifSet).unwrap(),
+            SendOutcome::Suppressed
+        );
+        assert!(dom.has_pending(h));
+        dom.set_suppress(h, false).unwrap();
+        // Pending bits survive and drain on acknowledge.
+        assert_eq!(dom.acknowledge(h).unwrap(), 1 << 3);
+    }
+
+    #[test]
+    fn blocked_receiver_takes_slow_path() {
+        let (mut dom, uitt, _h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::Blocked).unwrap(),
+            SendOutcome::NotifiedBlocked
+        );
+    }
+
+    #[test]
+    fn masked_receiver_pends() {
+        let (mut dom, uitt, h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::RunningUifClear).unwrap(),
+            SendOutcome::PendedMasked
+        );
+        assert_eq!(dom.acknowledge(h).unwrap(), 1 << 3);
+    }
+
+    #[test]
+    fn multiple_vectors_accumulate() {
+        let mut dom = UintrDomain::new();
+        let h = dom.register_receiver();
+        let mut uitt = Uitt::new();
+        let i0 = uitt.register(h, 0);
+        let i5 = uitt.register(h, 5);
+        dom.senduipi(uitt.get(i0).unwrap(), ReceiverState::RunningUifSet)
+            .unwrap();
+        dom.senduipi(uitt.get(i5).unwrap(), ReceiverState::RunningUifSet)
+            .unwrap();
+        assert_eq!(dom.acknowledge(h).unwrap(), (1 << 0) | (1 << 5));
+        assert!(!dom.has_pending(h));
+    }
+
+    #[test]
+    fn stale_upid_rejected() {
+        let (mut dom, uitt, h, idx) = setup();
+        dom.unregister_receiver(h);
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi(e, ReceiverState::RunningUifSet),
+            Err(UintrError::StaleUpid)
+        );
+        assert_eq!(dom.acknowledge(h), Err(UintrError::StaleUpid));
+    }
+
+    #[test]
+    fn uitt_slot_reuse() {
+        let mut dom = UintrDomain::new();
+        let a = dom.register_receiver();
+        let b = dom.register_receiver();
+        let mut uitt = Uitt::new();
+        let ia = uitt.register(a, 1);
+        let ib = uitt.register(b, 2);
+        assert_ne!(ia, ib);
+        uitt.unregister(ia);
+        assert!(uitt.get(ia).is_none());
+        let ic = uitt.register(b, 9);
+        assert_eq!(ic, ia, "freed slot must be reused");
+        assert_eq!(uitt.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector out of range")]
+    fn vector_64_rejected() {
+        let mut dom = UintrDomain::new();
+        let h = dom.register_receiver();
+        let mut uitt = Uitt::new();
+        uitt.register(h, 64);
+    }
+
+    #[test]
+    fn upid_handle_reuse_after_unregister() {
+        let mut dom = UintrDomain::new();
+        let a = dom.register_receiver();
+        dom.unregister_receiver(a);
+        let b = dom.register_receiver();
+        // Slot is reused; the new receiver starts clean.
+        assert_eq!(a, b);
+        assert!(!dom.has_pending(b));
+    }
+}

@@ -1,0 +1,268 @@
+//! IPC / event-notification mechanisms (Table IV).
+//!
+//! The paper compares per-message latency of six notification paths with
+//! a 1M-iteration ping-pong microbenchmark. The kernel-mediated paths
+//! (signal, mq, pipe, eventFD) are modeled as shifted lognormals
+//! calibrated to the *measured* (min, avg, std) triples from Table IV —
+//! they are substrates the paper itself took as given. The two `uintrFd`
+//! rows are NOT calibrated here: they are *composed* from the
+//! architectural model ([`lp_hw::HwCosts`] + the UINTR state machine),
+//! so the hardware/software gap of Fig. 1 (left) is an output of the
+//! reproduction rather than an input.
+
+use lp_sim::SimDur;
+use rand::rngs::SmallRng;
+
+use lp_hw::jitter::standard_normal;
+use lp_hw::HwCosts;
+
+/// The IPC mechanisms of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpcMechanism {
+    /// POSIX real-time signal (`kill`/`sigwaitinfo`).
+    Signal,
+    /// POSIX message queue (`mq_send`/`mq_receive`).
+    MessageQueue,
+    /// Pipe write/read.
+    Pipe,
+    /// `eventfd(2)` write/read.
+    EventFd,
+    /// `uintr_fd` with the receiver running (`SENDUIPI` → handler).
+    UintrFd,
+    /// `uintr_fd` with the receiver blocked in the kernel.
+    UintrFdBlocked,
+}
+
+impl IpcMechanism {
+    /// All mechanisms in Table IV's row order.
+    pub const ALL: [IpcMechanism; 6] = [
+        IpcMechanism::Signal,
+        IpcMechanism::MessageQueue,
+        IpcMechanism::Pipe,
+        IpcMechanism::EventFd,
+        IpcMechanism::UintrFd,
+        IpcMechanism::UintrFdBlocked,
+    ];
+
+    /// The name used in Table IV.
+    pub fn name(self) -> &'static str {
+        match self {
+            IpcMechanism::Signal => "signal",
+            IpcMechanism::MessageQueue => "mq",
+            IpcMechanism::Pipe => "pipe",
+            IpcMechanism::EventFd => "eventFD",
+            IpcMechanism::UintrFd => "uintrFd",
+            IpcMechanism::UintrFdBlocked => "uintrFd (blocked)",
+        }
+    }
+
+    /// `true` for the hardware-assisted (kernel-bypass) paths.
+    pub fn is_user_interrupt(self) -> bool {
+        matches!(self, IpcMechanism::UintrFd | IpcMechanism::UintrFdBlocked)
+    }
+}
+
+/// A `min + LogNormal` latency distribution fitted to a measured
+/// (min, mean, std) triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftedLognormal {
+    min_ns: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl ShiftedLognormal {
+    /// Fits the distribution so that its minimum, mean, and standard
+    /// deviation match the given values (all in nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= min` or `std <= 0`.
+    pub fn from_min_mean_std(min_ns: f64, mean_ns: f64, std_ns: f64) -> Self {
+        assert!(mean_ns > min_ns, "mean must exceed min");
+        assert!(std_ns > 0.0, "std must be positive");
+        let e = mean_ns - min_ns;
+        let v = std_ns * std_ns;
+        let sigma2 = (1.0 + v / (e * e)).ln();
+        let mu = e.ln() - sigma2 / 2.0;
+        ShiftedLognormal {
+            min_ns,
+            mu,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Draws one latency.
+    pub fn sample(&self, rng: &mut SmallRng) -> SimDur {
+        let z = standard_normal(rng);
+        let x = self.min_ns + (self.mu + self.sigma * z).exp();
+        SimDur::nanos(x.round() as u64)
+    }
+
+    /// The distribution's theoretical mean, ns.
+    pub fn mean_ns(&self) -> f64 {
+        self.min_ns + (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Latency sampler for every Table IV mechanism.
+#[derive(Debug, Clone)]
+pub struct IpcLatency {
+    hw: HwCosts,
+    signal: ShiftedLognormal,
+    mq: ShiftedLognormal,
+    pipe: ShiftedLognormal,
+    eventfd: ShiftedLognormal,
+}
+
+impl Default for IpcLatency {
+    fn default() -> Self {
+        Self::new(HwCosts::default())
+    }
+}
+
+impl IpcLatency {
+    /// Builds the samplers. Kernel paths use Table IV's measured
+    /// (min, avg, std) in microseconds; user-interrupt paths compose
+    /// from `hw`.
+    pub fn new(hw: HwCosts) -> Self {
+        let us = |x: f64| x * 1_000.0;
+        IpcLatency {
+            hw,
+            // Table IV rows: avg / min / std (us).
+            signal: ShiftedLognormal::from_min_mean_std(us(3.584), us(15.325), us(3.478)),
+            mq: ShiftedLognormal::from_min_mean_std(us(8.960), us(10.468), us(2.017)),
+            pipe: ShiftedLognormal::from_min_mean_std(us(10.240), us(17.761), us(4.304)),
+            eventfd: ShiftedLognormal::from_min_mean_std(us(2.816), us(29.688), us(13.612)),
+        }
+    }
+
+    /// Samples one message's notification latency.
+    pub fn sample(&self, mech: IpcMechanism, rng: &mut SmallRng) -> SimDur {
+        match mech {
+            IpcMechanism::Signal => self.signal.sample(rng),
+            IpcMechanism::MessageQueue => self.mq.sample(rng),
+            IpcMechanism::Pipe => self.pipe.sample(rng),
+            IpcMechanism::EventFd => self.eventfd.sample(rng),
+            IpcMechanism::UintrFd => {
+                // SENDUIPI + running delivery + handler entry/UIRET.
+                let base = self.hw.senduipi_issue
+                    + self.hw.uintr_delivery_running
+                    + self.hw.uintr_handler;
+                lp_hw::jitter::sample(rng, base, self.hw.jitter_sigma * 4.0)
+            }
+            IpcMechanism::UintrFdBlocked => {
+                let base = self.hw.senduipi_issue
+                    + self.hw.uintr_delivery_blocked
+                    + self.hw.uintr_handler;
+                lp_hw::jitter::sample(rng, base, self.hw.jitter_sigma)
+            }
+        }
+    }
+
+    /// Per-iteration overhead *besides* the notification latency that a
+    /// ping-pong loop pays (loop body, state toggling). Matters only for
+    /// the sub-microsecond mechanisms, where it dominates the achievable
+    /// message rate (Table IV's `uintrFd` rate of 857 k/s implies ~1.17
+    /// us per iteration against a 0.73 us latency).
+    pub fn pingpong_iteration_overhead(&self, mech: IpcMechanism) -> SimDur {
+        match mech {
+            IpcMechanism::UintrFd => SimDur::nanos(430),
+            IpcMechanism::UintrFdBlocked => SimDur::nanos(50),
+            _ => SimDur::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::rng::rng;
+
+    fn stats(xs: &[f64]) -> (f64, f64, f64) {
+        let n = xs.len() as f64;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (min, mean, var.sqrt())
+    }
+
+    #[test]
+    fn shifted_lognormal_fits_moments() {
+        let d = ShiftedLognormal::from_min_mean_std(1_000.0, 5_000.0, 2_000.0);
+        let mut r = rng(1, 0);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r).as_nanos() as f64).collect();
+        let (min, mean, std) = stats(&xs);
+        assert!(min >= 1_000.0);
+        assert!((mean - 5_000.0).abs() < 100.0, "mean = {mean}");
+        assert!((std - 2_000.0).abs() < 200.0, "std = {std}");
+        assert!((d.mean_ns() - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must exceed min")]
+    fn bad_fit_panics() {
+        ShiftedLognormal::from_min_mean_std(10.0, 5.0, 1.0);
+    }
+
+    #[test]
+    fn calibrated_means_match_table_iv() {
+        let lat = IpcLatency::default();
+        let mut r = rng(2, 0);
+        let expect = [
+            (IpcMechanism::Signal, 15.325),
+            (IpcMechanism::MessageQueue, 10.468),
+            (IpcMechanism::Pipe, 17.761),
+            (IpcMechanism::EventFd, 29.688),
+        ];
+        for (mech, want_us) in expect {
+            let n = 30_000;
+            let total: f64 = (0..n)
+                .map(|_| lat.sample(mech, &mut r).as_micros_f64())
+                .sum();
+            let mean = total / n as f64;
+            let rel = (mean - want_us).abs() / want_us;
+            assert!(rel < 0.05, "{}: mean {mean} vs {want_us}", mech.name());
+        }
+    }
+
+    #[test]
+    fn uintr_latency_emerges_near_table_iv() {
+        // Not calibrated — composed from HwCosts. Check it lands near
+        // the measured 0.734 us (running) and 2.393 us (blocked).
+        let lat = IpcLatency::default();
+        let mut r = rng(3, 0);
+        let mean_of = |mech, r: &mut rand::rngs::SmallRng| {
+            let n = 30_000;
+            (0..n).map(|_| lat.sample(mech, r).as_micros_f64()).sum::<f64>() / n as f64
+        };
+        let running = mean_of(IpcMechanism::UintrFd, &mut r);
+        let blocked = mean_of(IpcMechanism::UintrFdBlocked, &mut r);
+        assert!((0.55..0.95).contains(&running), "running = {running} us");
+        assert!((2.0..2.8).contains(&blocked), "blocked = {blocked} us");
+    }
+
+    #[test]
+    fn uintr_beats_best_software_by_10x() {
+        // Fig. 1 (left) / §V-B: "10x better average latency compared to
+        // the fastest IPC mechanism (message queue)".
+        let lat = IpcLatency::default();
+        let mut r = rng(4, 0);
+        let mean_of = |mech, r: &mut rand::rngs::SmallRng| {
+            let n = 20_000;
+            (0..n).map(|_| lat.sample(mech, r).as_micros_f64()).sum::<f64>() / n as f64
+        };
+        let uintr = mean_of(IpcMechanism::UintrFd, &mut r);
+        let mq = mean_of(IpcMechanism::MessageQueue, &mut r);
+        assert!(mq / uintr > 8.0, "gap = {}", mq / uintr);
+    }
+
+    #[test]
+    fn names_and_order() {
+        assert_eq!(IpcMechanism::ALL.len(), 6);
+        assert_eq!(IpcMechanism::ALL[0].name(), "signal");
+        assert_eq!(IpcMechanism::ALL[5].name(), "uintrFd (blocked)");
+        assert!(IpcMechanism::UintrFd.is_user_interrupt());
+        assert!(!IpcMechanism::Pipe.is_user_interrupt());
+    }
+}

@@ -1,0 +1,28 @@
+//! # lp-kernel — the simulated Linux kernel paths
+//!
+//! Models the kernel-mediated mechanisms the paper's baselines rely on
+//! (and LibPreemptible bypasses):
+//!
+//! * [`signal`] — signal delivery serialized on a kernel lock with
+//!   contention dilation. Reproduces Table IV's signal row at low load
+//!   and Fig. 11's superlinear per-thread-timer curve under storms.
+//! * [`timer`] — kernel timers with an effective granularity floor and
+//!   expiry jitter, reproducing Fig. 12's ~60 us line for a 20 us
+//!   request.
+//! * [`ipc`] — the Table IV mechanism zoo. Kernel paths are calibrated
+//!   to the paper's measured (min, avg, std); the `uintrFd` rows are
+//!   *composed* from `lp-hw`'s architectural model so the HW/SW gap is
+//!   an output, not an input.
+//! * [`cost`] — every kernel latency constant in one place.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod ipc;
+pub mod signal;
+pub mod timer;
+
+pub use cost::KernelCosts;
+pub use ipc::{IpcLatency, IpcMechanism, ShiftedLognormal};
+pub use signal::{SignalDelivery, SignalPath};
+pub use timer::KernelTimer;

@@ -1,0 +1,367 @@
+//! Scheduling policies (§III-C: separation of mechanism and policy).
+//!
+//! The runtime provides the *mechanism* — queues, contexts, deadlines,
+//! user interrupts. What runs next and for how long is a [`Policy`],
+//! the abstraction the paper argues applications should own. The paper's
+//! evaluated policies are provided; users plug in their own by
+//! implementing the trait (see the `custom_policy` example).
+
+use lp_sim::SimDur;
+use lp_stats::WindowSummary;
+
+use crate::adaptive::QuantumController;
+
+/// What an idle worker should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextTask {
+    /// Pop the oldest new request from the local queue.
+    New,
+    /// Resume a preempted function from the global running list.
+    Preempted,
+    /// Nothing runnable.
+    Idle,
+}
+
+/// How preempted functions are picked from the running list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeOrder {
+    /// Oldest first (the paper's default).
+    Fifo,
+    /// Shortest remaining work first (oracle SRPT).
+    Srpt,
+}
+
+/// Where the time quantum comes from.
+#[derive(Debug, Clone)]
+pub enum QuantumSource {
+    /// A fixed quantum; [`SimDur::MAX`] disables preemption.
+    Fixed(SimDur),
+    /// Algorithm 1's adaptive controller.
+    Adaptive(QuantumController),
+}
+
+impl QuantumSource {
+    /// The current quantum.
+    pub fn quantum(&self) -> SimDur {
+        match self {
+            QuantumSource::Fixed(q) => *q,
+            QuantumSource::Adaptive(c) => c.quantum(),
+        }
+    }
+
+    /// Feeds a control-window summary (no-op for fixed quanta).
+    pub fn on_window(&mut self, s: &WindowSummary) {
+        if let QuantumSource::Adaptive(c) = self {
+            c.update(s);
+        }
+    }
+}
+
+/// A user-level scheduling policy.
+///
+/// Implementations decide (a) what an idle worker runs next and (b) the
+/// time slice granted per launch/resume, optionally per workload class
+/// (the colocation experiments give LC and BE different treatment).
+pub trait Policy {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides the next task for an idle worker given the number of
+    /// waiting new requests and parked preempted functions.
+    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask;
+
+    /// The time slice for a task of workload `class` about to run.
+    fn quantum(&self, class: u8) -> SimDur;
+
+    /// Resume ordering for preempted functions.
+    fn resume_order(&self) -> ResumeOrder {
+        ResumeOrder::Fifo
+    }
+
+    /// Receives the per-control-period window summary (adaptive
+    /// policies adjust their quantum here).
+    fn on_window(&mut self, _summary: &WindowSummary) {}
+}
+
+/// Centralized FCFS with preemption (the paper's headline policy):
+/// new requests take priority; preempted long requests resume only when
+/// no new request waits, receiving quantum-at-a-time service.
+#[derive(Debug, Clone)]
+pub struct FcfsPreempt {
+    quantum: QuantumSource,
+}
+
+impl FcfsPreempt {
+    /// With a fixed quantum.
+    pub fn fixed(quantum: SimDur) -> Self {
+        FcfsPreempt {
+            quantum: QuantumSource::Fixed(quantum),
+        }
+    }
+
+    /// With Algorithm 1's adaptive quantum.
+    pub fn adaptive(controller: QuantumController) -> Self {
+        FcfsPreempt {
+            quantum: QuantumSource::Adaptive(controller),
+        }
+    }
+}
+
+impl Policy for FcfsPreempt {
+    fn name(&self) -> &'static str {
+        match self.quantum {
+            QuantumSource::Fixed(_) => "cFCFS-P (fixed)",
+            QuantumSource::Adaptive(_) => "cFCFS-P (adaptive)",
+        }
+    }
+
+    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask {
+        if new_waiting > 0 {
+            NextTask::New
+        } else if preempted_waiting > 0 {
+            NextTask::Preempted
+        } else {
+            NextTask::Idle
+        }
+    }
+
+    fn quantum(&self, _class: u8) -> SimDur {
+        self.quantum.quantum()
+    }
+
+    fn on_window(&mut self, summary: &WindowSummary) {
+        self.quantum.on_window(summary);
+    }
+}
+
+/// Round-robin: new and preempted work alternate, approximating
+/// processor sharing as the quantum shrinks.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    quantum: QuantumSource,
+    prefer_preempted: bool,
+}
+
+impl RoundRobin {
+    /// With a fixed quantum.
+    pub fn fixed(quantum: SimDur) -> Self {
+        RoundRobin {
+            quantum: QuantumSource::Fixed(quantum),
+            prefer_preempted: false,
+        }
+    }
+}
+
+impl Policy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask {
+        let choice = match (new_waiting > 0, preempted_waiting > 0) {
+            (false, false) => NextTask::Idle,
+            (true, false) => NextTask::New,
+            (false, true) => NextTask::Preempted,
+            (true, true) => {
+                if self.prefer_preempted {
+                    NextTask::Preempted
+                } else {
+                    NextTask::New
+                }
+            }
+        };
+        if choice != NextTask::Idle {
+            self.prefer_preempted = !self.prefer_preempted;
+        }
+        choice
+    }
+
+    fn quantum(&self, _class: u8) -> SimDur {
+        self.quantum.quantum()
+    }
+
+    fn on_window(&mut self, summary: &WindowSummary) {
+        self.quantum.on_window(summary);
+    }
+}
+
+/// Oracle SRPT: resumes the preempted function with the least remaining
+/// work and prefers resuming short leftovers over starting new work.
+/// Unrealizable in practice (§I: service times are unknown upfront) —
+/// included as the upper-bound comparator.
+#[derive(Debug, Clone)]
+pub struct SrptOracle {
+    quantum: QuantumSource,
+}
+
+impl SrptOracle {
+    /// With a fixed quantum.
+    pub fn fixed(quantum: SimDur) -> Self {
+        SrptOracle {
+            quantum: QuantumSource::Fixed(quantum),
+        }
+    }
+}
+
+impl Policy for SrptOracle {
+    fn name(&self) -> &'static str {
+        "SRPT (oracle)"
+    }
+
+    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask {
+        // New requests first: an unstarted request might be tiny, and
+        // under the paper's bimodal mixes most are.
+        if new_waiting > 0 {
+            NextTask::New
+        } else if preempted_waiting > 0 {
+            NextTask::Preempted
+        } else {
+            NextTask::Idle
+        }
+    }
+
+    fn quantum(&self, _class: u8) -> SimDur {
+        self.quantum.quantum()
+    }
+
+    fn resume_order(&self) -> ResumeOrder {
+        ResumeOrder::Srpt
+    }
+
+    fn on_window(&mut self, summary: &WindowSummary) {
+        self.quantum.on_window(summary);
+    }
+}
+
+/// Non-preemptive FCFS (run-to-completion) — the `LC-Base` baseline of
+/// Fig. 13 and the "0 us time quantum" point of Fig. 2.
+#[derive(Debug, Clone, Default)]
+pub struct NonPreemptive;
+
+impl Policy for NonPreemptive {
+    fn name(&self) -> &'static str {
+        "FCFS (non-preemptive)"
+    }
+
+    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask {
+        if new_waiting > 0 {
+            NextTask::New
+        } else if preempted_waiting > 0 {
+            // Unreachable in practice (nothing is ever preempted), but
+            // drain defensively.
+            NextTask::Preempted
+        } else {
+            NextTask::Idle
+        }
+    }
+
+    fn quantum(&self, _class: u8) -> SimDur {
+        SimDur::MAX
+    }
+}
+
+/// Per-class quanta: LC requests get `lc_quantum`, BE requests
+/// `be_quantum` (Fig. 13-right's "variable time quantum" study).
+#[derive(Debug, Clone)]
+pub struct ClassQuantum {
+    /// Quantum for class 0 (latency-critical).
+    pub lc_quantum: SimDur,
+    /// Quantum for class 1+ (best-effort).
+    pub be_quantum: SimDur,
+}
+
+impl Policy for ClassQuantum {
+    fn name(&self) -> &'static str {
+        "cFCFS-P (per-class quantum)"
+    }
+
+    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask {
+        if new_waiting > 0 {
+            NextTask::New
+        } else if preempted_waiting > 0 {
+            NextTask::Preempted
+        } else {
+            NextTask::Idle
+        }
+    }
+
+    fn quantum(&self, class: u8) -> SimDur {
+        if class == 0 {
+            self.lc_quantum
+        } else {
+            self.be_quantum
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveConfig;
+
+    #[test]
+    fn fcfs_prefers_new_work() {
+        let mut p = FcfsPreempt::fixed(SimDur::micros(30));
+        assert_eq!(p.next_task(3, 5), NextTask::New);
+        assert_eq!(p.next_task(0, 5), NextTask::Preempted);
+        assert_eq!(p.next_task(0, 0), NextTask::Idle);
+        assert_eq!(p.quantum(0), SimDur::micros(30));
+        assert_eq!(p.resume_order(), ResumeOrder::Fifo);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut p = RoundRobin::fixed(SimDur::micros(5));
+        assert_eq!(p.next_task(1, 1), NextTask::New);
+        assert_eq!(p.next_task(1, 1), NextTask::Preempted);
+        assert_eq!(p.next_task(1, 1), NextTask::New);
+        // Idle doesn't flip the toggle.
+        assert_eq!(p.next_task(0, 0), NextTask::Idle);
+        assert_eq!(p.next_task(1, 1), NextTask::Preempted);
+    }
+
+    #[test]
+    fn srpt_uses_srpt_resume_order() {
+        let p = SrptOracle::fixed(SimDur::micros(5));
+        assert_eq!(p.resume_order(), ResumeOrder::Srpt);
+    }
+
+    #[test]
+    fn nonpreemptive_quantum_is_infinite() {
+        let p = NonPreemptive;
+        assert_eq!(p.quantum(0), SimDur::MAX);
+    }
+
+    #[test]
+    fn class_quantum_discriminates() {
+        let p = ClassQuantum {
+            lc_quantum: SimDur::micros(30),
+            be_quantum: SimDur::micros(100),
+        };
+        assert_eq!(p.quantum(0), SimDur::micros(30));
+        assert_eq!(p.quantum(1), SimDur::micros(100));
+    }
+
+    #[test]
+    fn adaptive_policy_tracks_controller() {
+        let ctl = QuantumController::new(
+            AdaptiveConfig::paper_defaults(100_000.0),
+            SimDur::micros(30),
+        );
+        let mut p = FcfsPreempt::adaptive(ctl);
+        assert_eq!(p.quantum(0), SimDur::micros(30));
+        // Heavy-tailed window shrinks it.
+        p.on_window(&WindowSummary {
+            load_rps: 95_000.0,
+            throughput_rps: 90_000.0,
+            median_ns: 1_000,
+            p99_ns: 500_000,
+            mean_qlen: 10.0,
+            completed: 1,
+            arrived: 1,
+            service_scv: 140.0,
+        });
+        assert!(p.quantum(0) < SimDur::micros(30));
+        assert_eq!(p.name(), "cFCFS-P (adaptive)");
+    }
+}

@@ -1,0 +1,173 @@
+//! Run reports: everything an experiment reads off a finished run.
+
+use lp_hw::{CoreClock, TimeClass};
+use lp_sim::{SimDur, SimTime};
+use lp_stats::{Histogram, TimeSeries};
+
+/// Aggregated results of one simulated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The system that produced the run (for table labels).
+    pub system: String,
+    /// Offered load in requests/second (peak for bursty schedules).
+    pub offered_rps: f64,
+    /// Measured run length.
+    pub duration: SimDur,
+    /// Requests that arrived (after warmup).
+    pub arrivals: u64,
+    /// Requests that completed (after warmup).
+    pub completions: u64,
+    /// Requests dropped on context-pool exhaustion.
+    pub dropped: u64,
+    /// Requests still in flight at the end.
+    pub in_flight: u64,
+    /// End-to-end latency of all completed requests.
+    pub latency: Histogram,
+    /// Latency split by workload class (class 0 = LC, 1 = BE).
+    pub latency_by_class: Vec<Histogram>,
+    /// Preemptions delivered (context actually switched out).
+    pub preemptions: u64,
+    /// Deliveries that raced completion (handler ran, nothing to park).
+    pub spurious_preemptions: u64,
+    /// Aggregate worker-core time accounting.
+    pub cores: CoreClock,
+    /// Per-worker accounting (workers only, not the timer core).
+    pub per_worker: Vec<CoreClock>,
+    /// Time accounting of the timer core(s), if any.
+    pub timer_core: CoreClock,
+    /// Per-second-ish series of completed-request latency (us), by
+    /// class, when recording was enabled.
+    pub latency_series: Vec<TimeSeries>,
+    /// Measured arrival rate series (events; rate = count/frame).
+    pub qps_series: Option<TimeSeries>,
+    /// The quantum chosen over time (us), for adaptive runs.
+    pub quantum_series: Option<TimeSeries>,
+    /// Per-frame SLO-violation indicator series (frame mean = violation
+    /// fraction), when an SLO and series recording were configured.
+    pub slo_series: Option<TimeSeries>,
+    /// The quantum at the end of the run.
+    pub final_quantum: SimDur,
+}
+
+impl RunReport {
+    /// Completed requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.completions as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Median latency in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.latency.median() as f64 / 1_000.0
+    }
+
+    /// p99 latency in microseconds — the paper's tail metric.
+    pub fn p99_us(&self) -> f64 {
+        self.latency.p99() as f64 / 1_000.0
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+
+    /// Fraction of completed requests exceeding `slo`.
+    pub fn slo_violations(&self, slo: SimDur) -> f64 {
+        self.latency.frac_above(slo.as_nanos())
+    }
+
+    /// Latency histogram of one class (empty histogram if the class
+    /// never appeared).
+    pub fn class_latency(&self, class: u8) -> &Histogram {
+        static EMPTY: std::sync::OnceLock<Histogram> = std::sync::OnceLock::new();
+        self.latency_by_class
+            .get(class as usize)
+            .unwrap_or_else(|| EMPTY.get_or_init(Histogram::new))
+    }
+
+    /// Preemption-mechanism time over useful work across the workers —
+    /// Fig. 1 (right)'s y-axis.
+    pub fn preemption_overhead_ratio(&self) -> f64 {
+        self.cores.preemption_over_work()
+    }
+
+    /// Conservation check: every arrival is accounted for.
+    pub fn is_conserved(&self) -> bool {
+        self.arrivals == self.completions + self.dropped + self.in_flight
+    }
+
+    /// Worker utilization (work only) over the run.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.per_worker.is_empty() || self.duration.is_zero() {
+            return 0.0;
+        }
+        let end = SimTime::ZERO + self.duration;
+        let total: f64 = self
+            .per_worker
+            .iter()
+            .map(|c| c.fraction(TimeClass::Work, end))
+            .sum();
+        total / self.per_worker.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut latency = Histogram::new();
+        latency.record_n(10_000, 99);
+        latency.record(1_000_000);
+        let mut cores = CoreClock::new();
+        cores.charge(TimeClass::Work, SimDur::micros(900));
+        cores.charge(TimeClass::Preemption, SimDur::micros(90));
+        RunReport {
+            system: "test".into(),
+            offered_rps: 1_000.0,
+            duration: SimDur::secs(1),
+            arrivals: 105,
+            completions: 100,
+            dropped: 2,
+            in_flight: 3,
+            latency,
+            latency_by_class: vec![],
+            preemptions: 10,
+            spurious_preemptions: 1,
+            cores,
+            per_worker: vec![],
+            timer_core: CoreClock::new(),
+            latency_series: vec![],
+            qps_series: None,
+            quantum_series: None,
+            slo_series: None,
+            final_quantum: SimDur::micros(30),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.throughput_rps() - 100.0).abs() < 1e-9);
+        assert!((r.median_us() - 10.0).abs() < 0.2);
+        assert!(r.p99_us() < 20.0);
+        assert!((r.preemption_overhead_ratio() - 0.1).abs() < 1e-9);
+        assert!(r.is_conserved());
+        assert!((r.slo_violations(SimDur::micros(50)) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_latency_missing_class_is_empty() {
+        let r = report();
+        assert!(r.class_latency(1).is_empty());
+    }
+
+    #[test]
+    fn conservation_detects_loss() {
+        let mut r = report();
+        r.completions = 90;
+        assert!(!r.is_conserved());
+    }
+}

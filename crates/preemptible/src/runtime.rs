@@ -1,0 +1,1049 @@
+//! The LibPreemptible runtime: the two-level scheduler of §III-F bound
+//! to the simulated machine.
+//!
+//! Architecture (paper Figs. 5–6):
+//!
+//! * a **dispatcher** (network thread) receives requests and places them
+//!   on per-worker local FIFO queues (join-shortest-queue);
+//! * **workers** run requests on pooled contexts; when a request's
+//!   deadline (quantum) expires, LibUtimer's timer core `SENDUIPI`s the
+//!   worker, whose handler parks the context on the global running list
+//!   and returns control to the local scheduler;
+//! * the **timer core** polls the TSC against the registered deadline
+//!   slots (simulated exactly, but without burning one event per poll
+//!   iteration: the model computes the poll tick at which the scan would
+//!   notice each armed deadline);
+//! * every control period the window statistics roll up and the policy
+//!   (possibly Algorithm 1's controller) adjusts the quantum.
+//!
+//! The same runtime runs all four preemption mechanisms of the paper's
+//! comparison via [`PreemptMech`]: UINTR, the w/o-UINTR fallback
+//! (Fig. 8's orange line), Libinger-style per-thread kernel timers, and
+//! no preemption at all.
+
+use std::collections::VecDeque;
+
+use lp_hw::uintr::{ReceiverState, SendOutcome, UintrDomain, Uitt};
+use lp_hw::{CoreClock, HwCosts, TimeClass};
+use lp_kernel::{KernelCosts, KernelTimer, SignalPath};
+use lp_sim::rng::{rng, streams};
+use lp_sim::{Ctx, EventId, Model, SimDur, SimTime, Simulation};
+use lp_stats::{Histogram, TimeSeries, WindowStats};
+use lp_workload::{ArrivalGen, ColocatedWorkload, JobClass, PhasedService, RateSchedule};
+use rand::rngs::SmallRng;
+
+use crate::context::{ContextId, ContextPool};
+use crate::policy::{NextTask, Policy, ResumeOrder};
+use crate::report::RunReport;
+use crate::utimer::{SlotId, UtimerRegistry};
+
+/// How workers get preempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptMech {
+    /// LibUtimer + `SENDUIPI` (the paper's system).
+    Uintr,
+    /// LibUtimer's timer core, but delivery through kernel signals —
+    /// the "disabled UINTR in LibUtimer" ablation of Fig. 8.
+    TimerCoreSignal,
+    /// Per-thread kernel timers + signals (the Libinger/libturquoise
+    /// lineage): no timer core, but the kernel timer floor applies.
+    KernelTimerSignal,
+    /// No preemption (run to completion).
+    None,
+}
+
+impl PreemptMech {
+    /// `true` if a dedicated timer core is required.
+    pub fn needs_timer_core(self) -> bool {
+        matches!(self, PreemptMech::Uintr | PreemptMech::TimerCoreSignal)
+    }
+}
+
+/// Where request classes and service times come from.
+#[derive(Debug, Clone)]
+pub enum ServiceSource {
+    /// A (possibly time-phased) synthetic distribution; all requests
+    /// are class 0.
+    Phased(PhasedService),
+    /// The §V-C colocation mix (class 0 = MICA LC, class 1 = zlib BE).
+    Colocated(ColocatedWorkload),
+}
+
+impl ServiceSource {
+    fn sample(&self, t: SimTime, rng: &mut SmallRng) -> (u8, SimDur) {
+        match self {
+            ServiceSource::Phased(p) => (0, p.sample(t, rng)),
+            ServiceSource::Colocated(c) => {
+                let (class, service) = c.sample(rng);
+                let class = match class {
+                    JobClass::LatencyCritical => 0,
+                    JobClass::BestEffort => 1,
+                };
+                (class, service)
+            }
+        }
+    }
+}
+
+/// The offered load and its duration.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Request classes and service times.
+    pub source: ServiceSource,
+    /// Arrival rate over time.
+    pub arrivals: RateSchedule,
+    /// Hard stop: the simulation ends at this instant.
+    pub duration: SimDur,
+    /// Completions of requests that arrived before this instant are
+    /// excluded from the latency statistics.
+    pub warmup: SimDur,
+}
+
+/// Runtime configuration (machine + library parameters).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads, each pinned to its own core.
+    pub workers: usize,
+    /// Dedicated timer cores (paper: 1). Ignored unless the mechanism
+    /// needs one.
+    pub timer_cores: usize,
+    /// Preemption mechanism.
+    pub mech: PreemptMech,
+    /// Hardware cost model.
+    pub hw: HwCosts,
+    /// Kernel cost model.
+    pub kernel: KernelCosts,
+    /// Context-pool capacity (requests beyond it are dropped).
+    pub pool_capacity: usize,
+    /// Dispatcher per-request processing cost.
+    pub dispatch_cost: SimDur,
+    /// Worker-side scheduling-decision cost per pick.
+    pub pick_cost: SimDur,
+    /// Allow idle workers to steal from the longest sibling queue.
+    pub work_stealing: bool,
+    /// Master seed; every stochastic component derives a substream.
+    pub seed: u64,
+    /// Window roll / controller invocation period.
+    pub control_period: SimDur,
+    /// Record time series at this frame width.
+    pub series_frame: Option<SimDur>,
+    /// Latency SLO for violation tracking.
+    pub slo: Option<SimDur>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            timer_cores: 1,
+            mech: PreemptMech::Uintr,
+            hw: HwCosts::default(),
+            kernel: KernelCosts::default(),
+            pool_capacity: 16_384,
+            dispatch_cost: SimDur::nanos(180),
+            pick_cost: SimDur::nanos(60),
+            work_stealing: true,
+            seed: 1,
+            control_period: SimDur::millis(100),
+            series_frame: None,
+            slo: None,
+        }
+    }
+}
+
+/// Events of the runtime model. Public only because [`Model::Event`]
+/// must name it; not part of the supported API.
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum Ev {
+    /// Next request hits the network thread.
+    Arrival,
+    /// Dispatcher finished routing the head-of-line request.
+    Dispatched,
+    /// Worker `w` looks for its next task.
+    Pick { worker: usize },
+    /// The task started under `seq` on worker `w` runs to completion.
+    Finish { worker: usize, seq: u64 },
+    /// The timer core's poll loop reaches a tick with expired deadlines.
+    TimerCheck,
+    /// A per-thread kernel timer armed under `seq` expired.
+    KtimerExpiry { worker: usize, seq: u64 },
+    /// The preemption notification lands on worker `w`.
+    PreemptArrive { worker: usize, seq: u64 },
+    /// Control period boundary: roll stats, run the controller.
+    ControlTick,
+}
+
+#[derive(Debug)]
+enum WState {
+    Idle,
+    Running {
+        ctx: ContextId,
+        class: u8,
+        started: SimTime,
+        finish_ev: EventId,
+    },
+}
+
+struct Worker {
+    state: WState,
+    local: VecDeque<ContextId>,
+    slot: SlotId,
+    uitt_index: usize,
+    clock: CoreClock,
+    /// Monotonic run sequence; stale Finish/Preempt events are detected
+    /// by comparing against this.
+    seq: u64,
+    ktimer: KernelTimer,
+}
+
+struct PendingReq {
+    arrived: SimTime,
+    class: u8,
+    service: SimDur,
+}
+
+/// The simulation model. Use [`run`] rather than driving it manually.
+pub struct LibPreemptibleSystem {
+    cfg: RuntimeConfig,
+    spec: WorkloadSpec,
+    policy: Box<dyn Policy>,
+
+    workers: Vec<Worker>,
+    pool: ContextPool,
+    registry: UtimerRegistry,
+    uintr: UintrDomain,
+    timer_uitt: Uitt,
+    /// (worker, seq) the armed deadline of each slot belongs to.
+    armed_for: Vec<Option<(usize, u64)>>,
+    timer_check: Option<(SimTime, EventId)>,
+    timer_clock: CoreClock,
+
+    arrivals_gen: ArrivalGen,
+    service_rng: SmallRng,
+    hw_rng: SmallRng,
+    signal_path: SignalPath,
+
+    dispatch_free_at: SimTime,
+    dispatch_queue: VecDeque<PendingReq>,
+    dispatcher_clock: CoreClock,
+    rr_cursor: usize,
+
+    // Counters (whole run).
+    arrivals: u64,
+    completions: u64,
+    dropped: u64,
+    preemptions: u64,
+    spurious: u64,
+
+    // Post-warmup stats.
+    window: WindowStats,
+    latency: Histogram,
+    latency_by_class: Vec<Histogram>,
+    latency_series: Vec<TimeSeries>,
+    qps_series: Option<TimeSeries>,
+    quantum_series: Option<TimeSeries>,
+    slo_series: Option<TimeSeries>,
+}
+
+const MAX_CLASSES: usize = 2;
+
+impl LibPreemptibleSystem {
+    fn new(cfg: RuntimeConfig, spec: WorkloadSpec, policy: Box<dyn Policy>) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let mut registry = UtimerRegistry::new();
+        let mut uintr = UintrDomain::new();
+        let mut timer_uitt = Uitt::new();
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let slot = registry.register();
+                let upid = uintr.register_receiver();
+                // LibPreemptible's security posture (§VII-B): the only
+                // UITT entries in the system connect the timer core to
+                // the workers, vector 0 = "deadline expired".
+                let uitt_index = timer_uitt.register(upid, 0);
+                Worker {
+                    state: WState::Idle,
+                    local: VecDeque::new(),
+                    slot,
+                    uitt_index,
+                    clock: CoreClock::new(),
+                    seq: 0,
+                    ktimer: KernelTimer::new(cfg.kernel.clone(), rng(cfg.seed, 100 + slot.index() as u64)),
+                }
+            })
+            .collect();
+        let series = |frame: Option<SimDur>| frame.map(|f| TimeSeries::new(f.as_nanos()));
+        let armed_for = vec![None; cfg.workers];
+        LibPreemptibleSystem {
+            arrivals_gen: ArrivalGen::new(spec.arrivals.clone(), rng(cfg.seed, streams::ARRIVALS)),
+            service_rng: rng(cfg.seed, streams::SERVICE),
+            hw_rng: rng(cfg.seed, streams::HW_JITTER),
+            signal_path: SignalPath::new(cfg.kernel.clone(), rng(cfg.seed, streams::KERNEL_JITTER)),
+            pool: ContextPool::with_capacity(cfg.pool_capacity),
+            registry,
+            uintr,
+            timer_uitt,
+            armed_for,
+            timer_check: None,
+            timer_clock: CoreClock::new(),
+            dispatch_free_at: SimTime::ZERO,
+            dispatch_queue: VecDeque::new(),
+            dispatcher_clock: CoreClock::new(),
+            rr_cursor: 0,
+            arrivals: 0,
+            completions: 0,
+            dropped: 0,
+            preemptions: 0,
+            spurious: 0,
+            window: WindowStats::new(),
+            latency: Histogram::new(),
+            latency_by_class: (0..MAX_CLASSES).map(|_| Histogram::new()).collect(),
+            latency_series: (0..MAX_CLASSES)
+                .filter_map(|_| series(cfg.series_frame))
+                .collect(),
+            qps_series: series(cfg.series_frame),
+            quantum_series: series(cfg.series_frame.or(Some(cfg.control_period))),
+            slo_series: cfg.slo.and(series(cfg.series_frame)),
+            workers,
+            cfg,
+            spec,
+            policy,
+        }
+    }
+
+    fn jitter(&mut self, base: SimDur) -> SimDur {
+        lp_hw::jitter::sample(&mut self.hw_rng, base, self.cfg.hw.jitter_sigma)
+    }
+
+    fn past_warmup(&self, arrived: SimTime) -> bool {
+        arrived >= SimTime::ZERO + self.spec.warmup
+    }
+
+    /// Picks the shortest local queue (ties broken by a rotating
+    /// cursor so no worker is systematically favored).
+    fn shortest_queue(&mut self) -> usize {
+        let n = self.workers.len();
+        let start = self.rr_cursor;
+        self.rr_cursor = (self.rr_cursor + 1) % n;
+        let mut best = start % n;
+        for off in 1..n {
+            let i = (start + off) % n;
+            if self.workers[i].local.len() < self.workers[best].local.len() {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Re-schedules the timer-core check for the earliest armed
+    /// deadline, quantized up to the poll-loop granularity.
+    fn update_timer_check(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        if !self.cfg.mech.needs_timer_core() {
+            return;
+        }
+        let desired = self.registry.next_deadline().map(|d| {
+            let poll = self.cfg.hw.poll_loop.as_nanos();
+            if poll == 0 {
+                return d.max(ctx.now());
+            }
+            let ns = d.as_nanos();
+            let ticked = ns.div_ceil(poll) * poll;
+            SimTime::from_nanos(ticked).max(ctx.now())
+        });
+        match (desired, self.timer_check) {
+            (None, Some((_, ev))) => {
+                ctx.cancel(ev);
+                self.timer_check = None;
+            }
+            (Some(t), Some((cur, ev))) if t < cur => {
+                ctx.cancel(ev);
+                let ev = ctx.at(t, Ev::TimerCheck);
+                self.timer_check = Some((t, ev));
+            }
+            (Some(t), None) => {
+                let ev = ctx.at(t, Ev::TimerCheck);
+                self.timer_check = Some((t, ev));
+            }
+            _ => {}
+        }
+    }
+
+    /// Arms the preemption deadline for a task starting at `start` with
+    /// quantum `q`. Returns extra start-up cost charged to the worker
+    /// (the kernel-timer path arms via syscall).
+    fn arm_deadline(
+        &mut self,
+        worker: usize,
+        start: SimTime,
+        q: SimDur,
+        ctx: &mut Ctx<'_, Ev>,
+    ) -> SimDur {
+        if q == SimDur::MAX || self.cfg.mech == PreemptMech::None {
+            return SimDur::ZERO;
+        }
+        let seq = self.workers[worker].seq;
+        match self.cfg.mech {
+            PreemptMech::Uintr | PreemptMech::TimerCoreSignal => {
+                let slot = self.workers[worker].slot;
+                self.registry.arm(slot, start + q);
+                self.armed_for[slot.index()] = Some((worker, seq));
+                self.update_timer_check(ctx);
+                // utimer_arm_deadline is one cache-line write (which
+                // can bounce with the timer core's polling reads).
+                self.cfg.hw.deadline_arm
+            }
+            PreemptMech::KernelTimerSignal => {
+                let w = &mut self.workers[worker];
+                w.ktimer.arm(q);
+                let actual = w.ktimer.sample_expiry();
+                let cost = w.ktimer.arm_cost();
+                ctx.at(start + actual, Ev::KtimerExpiry { worker, seq });
+                cost
+            }
+            PreemptMech::None => SimDur::ZERO,
+        }
+    }
+
+    fn disarm_deadline(&mut self, worker: usize, ctx: &mut Ctx<'_, Ev>) {
+        match self.cfg.mech {
+            PreemptMech::Uintr | PreemptMech::TimerCoreSignal => {
+                let slot = self.workers[worker].slot;
+                self.registry.disarm(slot);
+                self.armed_for[slot.index()] = None;
+                self.update_timer_check(ctx);
+            }
+            PreemptMech::KernelTimerSignal => {
+                self.workers[worker].ktimer.disarm();
+                // The stale KtimerExpiry event is ignored by seq check.
+            }
+            PreemptMech::None => {}
+        }
+    }
+
+    /// Receiver-side cost of taking a preemption notification.
+    fn preempt_receive_cost(&mut self) -> SimDur {
+        match self.cfg.mech {
+            PreemptMech::Uintr => self.cfg.hw.uintr_handler,
+            PreemptMech::TimerCoreSignal | PreemptMech::KernelTimerSignal => {
+                self.cfg.kernel.signal_handler + self.cfg.kernel.ctx_switch
+            }
+            PreemptMech::None => SimDur::ZERO,
+        }
+    }
+
+    fn record_completion(&mut self, arrived: SimTime, class: u8, service: SimDur, now: SimTime) {
+        self.completions += 1;
+        self.window.on_completion(now.since(arrived).as_nanos());
+        self.window.on_service_sample(service.as_nanos());
+        if !self.past_warmup(arrived) {
+            return;
+        }
+        let lat = now.since(arrived);
+        self.latency.record(lat.as_nanos());
+        if let Some(h) = self.latency_by_class.get_mut(class as usize) {
+            h.record(lat.as_nanos());
+        }
+        if let Some(ts) = self.latency_series.get_mut(class as usize) {
+            ts.record(now.as_nanos(), lat.as_micros_f64());
+        }
+        if let (Some(slo), Some(ts)) = (self.cfg.slo, self.slo_series.as_mut()) {
+            ts.record(now.as_nanos(), if lat > slo { 1.0 } else { 0.0 });
+        }
+    }
+
+    fn start_task(&mut self, worker: usize, id: ContextId, resumed: bool, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let (class, remaining) = {
+            let c = self.pool.get(id);
+            (c.class, c.remaining)
+        };
+        debug_assert!(!remaining.is_zero(), "starting a completed context");
+        let switch = self.cfg.hw.fcontext_switch;
+        let pick = self.cfg.pick_cost;
+        self.workers[worker].clock.charge(TimeClass::Dispatch, pick + switch);
+        let mut start = now + pick + switch;
+
+        self.workers[worker].seq += 1;
+        let q = self.policy.quantum(class);
+        let arm_extra = self.arm_deadline(worker, start, q, ctx);
+        if !arm_extra.is_zero() {
+            self.workers[worker].clock.charge(TimeClass::Kernel, arm_extra);
+            start += arm_extra;
+        }
+
+        let finish_ev = ctx.at(start + remaining, Ev::Finish {
+            worker,
+            seq: self.workers[worker].seq,
+        });
+        self.workers[worker].state = WState::Running {
+            ctx: id,
+            class,
+            started: start,
+            finish_ev,
+        };
+        let _ = resumed;
+    }
+
+    fn handle_pick(&mut self, worker: usize, ctx: &mut Ctx<'_, Ev>) {
+        if !matches!(self.workers[worker].state, WState::Idle) {
+            return; // stale pick
+        }
+        let own = self.workers[worker].local.len();
+        let stealable = if self.cfg.work_stealing {
+            self.workers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != worker)
+                .map(|(_, w)| w.local.len())
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let new_waiting = own + if own == 0 { stealable } else { 0 };
+        let decision = self.policy.next_task(new_waiting, self.pool.parked());
+        match decision {
+            NextTask::New => {
+                let id = if let Some(id) = self.workers[worker].local.pop_front() {
+                    id
+                } else {
+                    // Steal from the longest sibling queue.
+                    let victim = self
+                        .workers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, w)| *i != worker && !w.local.is_empty())
+                        .max_by_key(|(_, w)| w.local.len())
+                        .map(|(i, _)| i);
+                    match victim {
+                        Some(v) => {
+                            // Stealing touches a remote queue: extra cost.
+                            self.workers[worker]
+                                .clock
+                                .charge(TimeClass::Dispatch, self.cfg.pick_cost);
+                            self.workers[v].local.pop_back().expect("victim non-empty")
+                        }
+                        None => return, // raced away
+                    }
+                };
+                self.start_task(worker, id, false, ctx);
+            }
+            NextTask::Preempted => {
+                let id = match self.policy.resume_order() {
+                    ResumeOrder::Fifo => self.pool.take_parked(),
+                    ResumeOrder::Srpt => self.pool.take_parked_srpt(),
+                };
+                if let Some(id) = id { self.start_task(worker, id, true, ctx) }
+            }
+            NextTask::Idle => {}
+        }
+    }
+
+    fn deliver_preemptions(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let fired = self.registry.expired(now);
+        let mut issue_at = now;
+        for slot in fired {
+            let Some((worker, seq)) = self.armed_for[slot.index()].take() else {
+                continue;
+            };
+            match self.cfg.mech {
+                PreemptMech::Uintr => {
+                    // The timer core executes SENDUIPI per target,
+                    // serially.
+                    let issue = self.jitter(self.cfg.hw.senduipi_issue);
+                    issue_at += issue;
+                    self.timer_clock.charge(TimeClass::Preemption, issue);
+                    let entry = self
+                        .timer_uitt
+                        .get(self.workers[worker].uitt_index)
+                        .expect("timer UITT entry");
+                    // Workers are on-CPU; the architectural fast path.
+                    let outcome = self
+                        .uintr
+                        .senduipi(entry, ReceiverState::RunningUifSet)
+                        .expect("live UPID");
+                    debug_assert_eq!(outcome, SendOutcome::NotifiedRunning);
+                    self.uintr.acknowledge(entry.upid).expect("live UPID");
+                    let delivery = self.jitter(self.cfg.hw.uintr_delivery_running);
+                    ctx.at(issue_at + delivery, Ev::PreemptArrive { worker, seq });
+                }
+                PreemptMech::TimerCoreSignal => {
+                    // The timer core tgkill()s the worker; the kernel
+                    // signal path serializes and jitters delivery.
+                    let d = self.signal_path.deliver(issue_at);
+                    issue_at += self.cfg.kernel.syscall;
+                    self.timer_clock
+                        .charge(TimeClass::Preemption, d.sender_busy);
+                    ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq });
+                }
+                _ => unreachable!("timer core disabled for {:?}", self.cfg.mech),
+            }
+        }
+        self.update_timer_check(ctx);
+    }
+
+    fn handle_preempt_arrive(&mut self, worker: usize, seq: u64, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let recv_cost = self.preempt_receive_cost();
+        let w_seq = self.workers[worker].seq;
+        match &mut self.workers[worker].state {
+            WState::Running {
+                ctx: id,
+                started,
+                finish_ev,
+                ..
+            } if w_seq == seq => {
+                let id = *id;
+                let started_at = *started;
+                ctx.cancel(*finish_ev);
+                debug_assert!(started_at <= now);
+                let executed = now.saturating_since(started_at);
+                let w = &mut self.workers[worker];
+                w.clock.charge(TimeClass::Work, executed);
+                w.clock.charge(
+                    TimeClass::Preemption,
+                    recv_cost + self.cfg.hw.fcontext_switch,
+                );
+                w.seq += 1;
+                w.state = WState::Idle;
+                {
+                    let c = self.pool.get_mut(id);
+                    c.remaining = c.remaining.saturating_sub(executed);
+                    if c.remaining.is_zero() {
+                        // Preemption landed exactly at completion:
+                        // treat as completed.
+                        let (arrived, class, total) = (c.arrived, c.class, c.total);
+                        self.pool.release(id);
+                        self.record_completion(arrived, class, total, now);
+                    } else {
+                        // Cache/TLB pollution: the resumed computation
+                        // will take a bit longer.
+                        let c = self.pool.get_mut(id);
+                        c.remaining += self.cfg.hw.switch_pollution;
+                        self.pool.park(id);
+                        self.preemptions += 1;
+                    }
+                }
+                self.disarm_deadline(worker, ctx);
+                ctx.at(
+                    now + recv_cost + self.cfg.hw.fcontext_switch,
+                    Ev::Pick { worker },
+                );
+            }
+            WState::Running {
+                ctx: running_ctx,
+                started,
+                finish_ev,
+                ..
+            } => {
+                // Stale delivery raced a completion: the handler still
+                // runs, stealing `recv_cost` from whatever the worker
+                // now executes. Shift the current run (start and
+                // finish) by the handler cost so executed-time math
+                // stays consistent.
+                self.spurious += 1;
+                *started += recv_cost;
+                ctx.cancel(*finish_ev);
+                let (id, started_at) = (*running_ctx, *started);
+                let remaining = self.pool.get(id).remaining;
+                *finish_ev = ctx.at(started_at + remaining, Ev::Finish {
+                    worker,
+                    seq: w_seq,
+                });
+                self.workers[worker]
+                    .clock
+                    .charge(TimeClass::Preemption, recv_cost);
+            }
+            WState::Idle => {
+                // Spurious delivery to an idle worker: handler cost only.
+                self.spurious += 1;
+                self.workers[worker]
+                    .clock
+                    .charge(TimeClass::Preemption, recv_cost);
+            }
+        }
+    }
+
+    fn handle_finish(&mut self, worker: usize, seq: u64, ctx: &mut Ctx<'_, Ev>) {
+        if self.workers[worker].seq != seq {
+            return; // cancelled-but-raced finish; ignore
+        }
+        let WState::Running { ctx: id, class, started, .. } = self.workers[worker].state else {
+            return;
+        };
+        let now = ctx.now();
+        let executed = now.saturating_since(started);
+        self.workers[worker].clock.charge(TimeClass::Work, executed);
+        self.disarm_deadline(worker, ctx);
+        let (arrived, total) = {
+            let c = self.pool.get(id);
+            (c.arrived, c.total)
+        };
+        self.pool.get_mut(id).remaining = SimDur::ZERO;
+        self.pool.release(id);
+        self.record_completion(arrived, class, total, now);
+        self.workers[worker].seq += 1;
+        self.workers[worker].state = WState::Idle;
+        ctx.immediately(Ev::Pick { worker });
+    }
+}
+
+impl Model for LibPreemptibleSystem {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        match ev {
+            Ev::Arrival => {
+                let now = ctx.now();
+                self.arrivals += 1;
+                self.window.on_arrival();
+                if let Some(ts) = self.qps_series.as_mut() {
+                    ts.record(now.as_nanos(), 1.0);
+                }
+                let (class, service) = self.spec.source.sample(now, &mut self.service_rng);
+                self.dispatch_queue.push_back(PendingReq {
+                    arrived: now,
+                    class,
+                    service,
+                });
+                // Dispatcher serializes request handling.
+                let start = self.dispatch_free_at.max(now);
+                let cost = self.cfg.dispatch_cost;
+                self.dispatcher_clock.charge(TimeClass::Dispatch, cost);
+                self.dispatch_free_at = start + cost;
+                ctx.at(self.dispatch_free_at, Ev::Dispatched);
+
+                // Next arrival while the run lasts.
+                let next = self.arrivals_gen.next_arrival(now);
+                if next < SimTime::ZERO + self.spec.duration {
+                    ctx.at(next, Ev::Arrival);
+                }
+            }
+            Ev::Dispatched => {
+                let req = self
+                    .dispatch_queue
+                    .pop_front()
+                    .expect("dispatched event without pending request");
+                match self
+                    .pool
+                    .allocate(self.arrivals, req.arrived, req.service, req.class)
+                {
+                    Ok(id) => {
+                        let w = self.shortest_queue();
+                        self.window.on_queue_sample(self.workers[w].local.len());
+                        self.workers[w].local.push_back(id);
+                        if matches!(self.workers[w].state, WState::Idle) {
+                            ctx.immediately(Ev::Pick { worker: w });
+                        }
+                    }
+                    Err(_) => {
+                        self.dropped += 1;
+                    }
+                }
+            }
+            Ev::Pick { worker } => self.handle_pick(worker, ctx),
+            Ev::Finish { worker, seq } => self.handle_finish(worker, seq, ctx),
+            Ev::TimerCheck => {
+                self.timer_check = None;
+                self.deliver_preemptions(ctx);
+            }
+            Ev::KtimerExpiry { worker, seq } => {
+                if self.workers[worker].seq == seq
+                    && matches!(self.workers[worker].state, WState::Running { .. })
+                {
+                    let d = self.signal_path.deliver(ctx.now());
+                    // Sender is the kernel timer softirq: charge kernel
+                    // time to the victim's core.
+                    self.workers[worker]
+                        .clock
+                        .charge(TimeClass::Kernel, d.sender_busy);
+                    ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq });
+                }
+            }
+            Ev::PreemptArrive { worker, seq } => self.handle_preempt_arrive(worker, seq, ctx),
+            Ev::ControlTick => {
+                let now = ctx.now();
+                let summary = self.window.roll(now.as_nanos());
+                self.policy.on_window(&summary);
+                if let Some(ts) = self.quantum_series.as_mut() {
+                    let q = self.policy.quantum(0);
+                    if q != SimDur::MAX {
+                        ts.record(now.as_nanos(), q.as_micros_f64());
+                    }
+                }
+                let next = now + self.cfg.control_period;
+                if next < SimTime::ZERO + self.spec.duration {
+                    ctx.at(next, Ev::ControlTick);
+                }
+            }
+        }
+    }
+}
+
+/// Runs LibPreemptible on the given workload and returns the report.
+///
+/// ```
+/// use libpreemptible::{run, FcfsPreempt, RuntimeConfig, ServiceSource, WorkloadSpec};
+/// use lp_sim::SimDur;
+/// use lp_workload::{PhasedService, RateSchedule, ServiceDist};
+///
+/// let cfg = RuntimeConfig { workers: 2, ..RuntimeConfig::default() };
+/// let spec = WorkloadSpec {
+///     source: ServiceSource::Phased(PhasedService::constant(ServiceDist::workload_b())),
+///     arrivals: RateSchedule::Constant(50_000.0),
+///     duration: SimDur::millis(50),
+///     warmup: SimDur::millis(5),
+/// };
+/// let report = run(cfg, Box::new(FcfsPreempt::fixed(SimDur::micros(10))), spec);
+/// assert!(report.is_conserved());
+/// assert!(report.completions > 1_000);
+/// ```
+pub fn run(cfg: RuntimeConfig, policy: Box<dyn Policy>, spec: WorkloadSpec) -> RunReport {
+    let system_name = format!("LibPreemptible[{:?}]/{}", cfg.mech, policy.name());
+    let duration = spec.duration;
+    let offered = spec.arrivals.peak_rate();
+    let control_period = cfg.control_period;
+    let timer_cores = if cfg.mech.needs_timer_core() {
+        cfg.timer_cores
+    } else {
+        0
+    };
+
+    let model = LibPreemptibleSystem::new(cfg, spec, policy);
+    let mut sim = Simulation::new(model);
+    sim.schedule_at(SimTime::ZERO, Ev::Arrival);
+    sim.schedule_at(SimTime::ZERO + control_period, Ev::ControlTick);
+    sim.run_until(SimTime::ZERO + duration);
+
+    let m = sim.into_model();
+    let mut cores = CoreClock::new();
+    let per_worker: Vec<CoreClock> = m.workers.iter().map(|w| w.clock.clone()).collect();
+    for w in &per_worker {
+        cores.merge(w);
+    }
+    cores.merge(&m.dispatcher_clock);
+    let mut timer_core = m.timer_clock.clone();
+    if timer_cores > 0 {
+        // The dedicated timer core is busy-polling whenever it is not
+        // issuing SENDUIPIs.
+        let total = SimDur::nanos(duration.as_nanos());
+        timer_core.charge(
+            TimeClass::TimerPoll,
+            total.saturating_sub(timer_core.total_charged()),
+        );
+    }
+    let in_flight =
+        m.pool.live() as u64 + m.dispatch_queue.len() as u64;
+    RunReport {
+        system: system_name,
+        offered_rps: offered,
+        duration,
+        arrivals: m.arrivals,
+        completions: m.completions,
+        dropped: m.dropped,
+        in_flight,
+        latency: m.latency,
+        latency_by_class: m.latency_by_class,
+        preemptions: m.preemptions,
+        spurious_preemptions: m.spurious,
+        cores,
+        per_worker,
+        timer_core,
+        latency_series: m.latency_series,
+        qps_series: m.qps_series,
+        quantum_series: m.quantum_series,
+        slo_series: m.slo_series,
+        final_quantum: {
+            
+            m.policy.quantum(0)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FcfsPreempt, NonPreemptive};
+    use lp_workload::ServiceDist;
+
+    fn spec(rate: f64, ms: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(ServiceDist::workload_b())),
+            arrivals: RateSchedule::Constant(rate),
+            duration: SimDur::millis(ms),
+            warmup: SimDur::millis(ms / 10),
+        }
+    }
+
+    fn small_cfg(mech: PreemptMech) -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 4,
+            mech,
+            control_period: SimDur::millis(10),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn conservation_and_throughput_low_load() {
+        // 4 workers x 5us mean: capacity 800k rps. Offer 100k.
+        let r = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec(100_000.0, 100),
+        );
+        assert!(r.is_conserved(), "{r:?}");
+        assert_eq!(r.dropped, 0);
+        // ~10k arrivals in 100ms.
+        assert!(r.arrivals > 8_000 && r.arrivals < 12_000, "{}", r.arrivals);
+        // Nearly everything completes; latency near service time.
+        assert!(r.in_flight < 20);
+        assert!(r.median_us() < 15.0, "median {}", r.median_us());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            run(
+                small_cfg(PreemptMech::Uintr),
+                Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+                spec(200_000.0, 50),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.latency.p99(), b.latency.p99());
+    }
+
+    #[test]
+    fn preemption_happens_for_long_requests() {
+        let spec = WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(
+                ServiceDist::Constant(SimDur::micros(100)),
+            )),
+            arrivals: RateSchedule::Constant(10_000.0),
+            duration: SimDur::millis(50),
+            warmup: SimDur::ZERO,
+        };
+        let r = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec,
+        );
+        // 100us tasks with a 10us quantum: many preemptions each.
+        assert!(
+            r.preemptions > 9 * r.completions / 2,
+            "preemptions {} completions {}",
+            r.preemptions,
+            r.completions
+        );
+        assert!(r.is_conserved());
+    }
+
+    #[test]
+    fn nonpreemptive_never_preempts() {
+        let r = run(
+            small_cfg(PreemptMech::None),
+            Box::new(NonPreemptive),
+            spec(100_000.0, 50),
+        );
+        assert_eq!(r.preemptions, 0);
+        assert_eq!(r.spurious_preemptions, 0);
+        assert!(r.is_conserved());
+    }
+
+    #[test]
+    fn preemption_tames_bimodal_tail() {
+        // A1 at moderately high load: preemptive 10us quantum must
+        // crush p99 relative to run-to-completion.
+        let mk_spec = || WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(ServiceDist::workload_a1())),
+            arrivals: RateSchedule::Constant(800_000.0), // ~60% util on 4 cores
+            duration: SimDur::millis(300),
+            warmup: SimDur::millis(30),
+        };
+        let pre = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(5))),
+            mk_spec(),
+        );
+        let non = run(
+            small_cfg(PreemptMech::None),
+            Box::new(NonPreemptive),
+            mk_spec(),
+        );
+        assert!(pre.is_conserved() && non.is_conserved());
+        assert!(
+            pre.p99_us() * 3.0 < non.p99_us(),
+            "preemptive p99 {} vs non-preemptive {}",
+            pre.p99_us(),
+            non.p99_us()
+        );
+    }
+
+    #[test]
+    fn signal_fallback_is_slower_than_uintr() {
+        let mk_spec = || WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(ServiceDist::workload_a1())),
+            arrivals: RateSchedule::Constant(900_000.0),
+            duration: SimDur::millis(200),
+            warmup: SimDur::millis(20),
+        };
+        let uintr = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(5))),
+            mk_spec(),
+        );
+        let signal = run(
+            small_cfg(PreemptMech::TimerCoreSignal),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(5))),
+            mk_spec(),
+        );
+        assert!(
+            signal.p99_us() > 1.5 * uintr.p99_us(),
+            "signal p99 {} vs uintr {}",
+            signal.p99_us(),
+            uintr.p99_us()
+        );
+    }
+
+    #[test]
+    fn overload_builds_queues_not_crashes() {
+        // Offer 2x capacity.
+        let r = run(
+            RuntimeConfig {
+                pool_capacity: 512,
+                ..small_cfg(PreemptMech::Uintr)
+            },
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec(1_600_000.0, 30),
+        );
+        assert!(r.is_conserved());
+        assert!(r.dropped > 0 || r.in_flight > 100);
+    }
+
+    #[test]
+    fn worker_time_accounting_sums_sanely() {
+        let r = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec(400_000.0, 100),
+        );
+        for (i, w) in r.per_worker.iter().enumerate() {
+            let total = w.total_charged();
+            assert!(
+                total <= SimDur::millis(100) + SimDur::micros(200),
+                "worker {i} overcharged: {total}"
+            );
+            assert!(
+                w.charged(TimeClass::Work) > SimDur::millis(10),
+                "worker {i} did almost no work"
+            );
+        }
+    }
+}

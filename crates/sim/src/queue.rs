@@ -1,0 +1,216 @@
+//! The pending-event queue.
+//!
+//! A binary heap ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing sequence number. The sequence number makes event ordering
+//! *total* and therefore the whole simulation deterministic: two events
+//! scheduled for the same instant fire in scheduling order.
+//!
+//! Cancellation is O(1) via tombstones: [`EventQueue::cancel`] records the
+//! event id in a hash set and [`EventQueue::pop`] skips dead entries. This
+//! is the pattern needed by re-armed deadlines (LibUtimer re-arms a
+//! thread's preemption deadline every time the scheduler grants a new
+//! quantum, invalidating the previously scheduled expiry).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number, useful in traces.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops
+        // first.
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// ```
+/// use lp_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// let a = q.push(SimTime::from_nanos(10), "a");
+/// let _b = q.push(SimTime::from_nanos(5), "b");
+/// q.cancel(a);
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`. Returns an id usable with
+    /// [`cancel`](Self::cancel).
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Entry { time, id, event });
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an id that already fired (or was already cancelled) is a
+    /// no-op; the tombstone is reclaimed lazily.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Removes and returns the earliest live event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.event));
+        }
+        // The heap is empty; any remaining tombstones refer to ids that
+        // will never pop (already fired), so drop them.
+        self.cancelled.clear();
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let e = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&e.id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of entries still in the heap, *including* not-yet-skipped
+    /// cancelled entries. An upper bound on live events.
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "first");
+        q.push(t(5), "second");
+        q.push(t(5), "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        q.cancel(a); // already fired
+        q.push(t(2), "b");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.pop(), Some((t(7), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1u32);
+        q.cancel(a);
+        q.cancel(a);
+        assert!(q.pop().is_none());
+        // A later event with a fresh id must not be affected by the stale
+        // tombstone.
+        q.push(t(2), 2u32);
+        assert_eq!(q.pop(), Some((t(2), 2u32)));
+    }
+}

@@ -1,0 +1,169 @@
+//! Event tracing: a bounded ring buffer of recent simulation activity.
+//!
+//! Debugging a discrete-event model usually starts with "what were the
+//! last N things that happened?". [`TraceRing`] keeps a fixed-capacity
+//! window of formatted trace records with zero allocation on the hot
+//! path beyond the record string itself, and is deliberately
+//! model-agnostic: models push whatever text is useful.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// Model-defined description.
+    pub what: String,
+}
+
+/// A bounded ring of recent trace records.
+///
+/// ```
+/// use lp_sim::{trace::TraceRing, SimTime};
+/// let mut ring = TraceRing::new(2);
+/// ring.push(SimTime::from_nanos(1), "a");
+/// ring.push(SimTime::from_nanos(2), "b");
+/// ring.push(SimTime::from_nanos(3), "c");
+/// let texts: Vec<&str> = ring.iter().map(|r| r.what.as_str()).collect();
+/// assert_eq!(texts, ["b", "c"]); // "a" was evicted
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceRing {
+    /// Creates a ring holding the last `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        TraceRing {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A ring that records nothing (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        TraceRing {
+            buf: VecDeque::new(),
+            capacity: 1,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
+    /// `true` if records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, at: SimTime, what: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceRecord {
+            at,
+            what: what.into(),
+        });
+    }
+
+    /// Records currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded (or tracing is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Renders the window as `time  message` lines, oldest first.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier records dropped ...", self.dropped);
+        }
+        for r in &self.buf {
+            let _ = writeln!(out, "{:>14}  {}", r.at.to_string(), r.what);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn keeps_most_recent() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..10u64 {
+            ring.push(t(i), format!("ev{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let whats: Vec<&str> = ring.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(whats, ["ev7", "ev8", "ev9"]);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut ring = TraceRing::disabled();
+        ring.push(t(1), "x");
+        assert!(ring.is_empty());
+        assert!(!ring.is_enabled());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn dump_format() {
+        let mut ring = TraceRing::new(2);
+        ring.push(t(1_500), "first");
+        ring.push(t(2_500), "second");
+        ring.push(t(3_500), "third");
+        let s = ring.dump();
+        assert!(s.starts_with("... 1 earlier records dropped ..."));
+        assert!(s.contains("2.500us  second"));
+        assert!(s.contains("third"));
+        assert!(!s.contains("first"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        TraceRing::new(0);
+    }
+}

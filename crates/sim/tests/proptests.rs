@@ -1,0 +1,55 @@
+//! Property tests for the event queue and engine ordering guarantees.
+
+use lp_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, and ties pop in
+    /// insertion order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_exact(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            ids.push((q.push(SimTime::from_nanos(t), i), i));
+        }
+        for (idx, &(id, i)) in ids.iter().enumerate() {
+            if cancel_mask[idx % cancel_mask.len()] {
+                q.cancel(id);
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut got = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

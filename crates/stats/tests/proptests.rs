@@ -1,0 +1,85 @@
+//! Property tests for the histogram's accuracy contract.
+
+use lp_stats::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every quantile of the histogram is within 1% relative error of the
+    /// exact empirical quantile (nearest-rank method).
+    #[test]
+    fn quantiles_within_relative_error(
+        mut values in proptest::collection::vec(1u64..10_000_000, 10..500),
+        qs in proptest::collection::vec(0.01f64..0.999, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in qs {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let got = h.quantile(q);
+            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(rel <= 0.01, "q={q}: got {got}, exact {exact}, rel {rel}");
+        }
+    }
+
+    /// count/min/max/mean are exact regardless of bucketing.
+    #[test]
+    fn exact_aggregates(values in proptest::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    /// Merging two histograms equals recording the union.
+    #[test]
+    fn merge_equals_union(
+        a in proptest::collection::vec(1u64..1_000_000, 1..100),
+        b in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = Histogram::new();
+        for &v in &b { hb.record(v); }
+        ha.merge(&hb);
+
+        let mut hu = Histogram::new();
+        for &v in a.iter().chain(b.iter()) { hu.record(v); }
+
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+        }
+    }
+
+    /// frac_above is consistent with a direct count.
+    #[test]
+    fn frac_above_consistent(
+        values in proptest::collection::vec(1u64..100_000, 1..200),
+        threshold in 1u64..100_000,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let got = h.frac_above(threshold);
+        // The histogram may put values within 1% of the threshold on
+        // either side; count with that tolerance.
+        let hi = threshold + threshold / 64 + 1;
+        let lo = threshold.saturating_sub(threshold / 64 + 1);
+        let above_max = values.iter().filter(|&&v| v > lo).count() as f64 / values.len() as f64;
+        let above_min = values.iter().filter(|&&v| v > hi).count() as f64 / values.len() as f64;
+        prop_assert!(got >= above_min - 1e-9 && got <= above_max + 1e-9,
+            "frac_above({threshold}) = {got}, bounds [{above_min}, {above_max}]");
+    }
+}

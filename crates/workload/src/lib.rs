@@ -1,0 +1,29 @@
+//! # lp-workload — workload models for the LibPreemptible reproduction
+//!
+//! Generates every request stream the paper evaluates on:
+//!
+//! * [`ServiceDist`] — the synthetic service-time distributions
+//!   (workloads A1, A2, B of §V-A, plus the shapes used for Fig. 1's
+//!   dispersion ranking).
+//! * [`PhasedService`] — workload C's mid-run distribution shift.
+//! * [`ArrivalGen`] / [`RateSchedule`] — open-loop Poisson arrivals with
+//!   constant, phased, or bursty (Fig. 14) rates.
+//! * [`Zipf`] — the YCSB-style zipfian key generator MICA uses.
+//! * [`MicaModel`] / [`ZlibModel`] / [`ColocatedWorkload`] — §V-C's
+//!   latency-critical KVS + best-effort compression colocation.
+
+#![warn(missing_docs)]
+
+mod arrival;
+mod dist;
+mod mica;
+mod phased;
+mod tracefile;
+mod zipf;
+
+pub use arrival::{ArrivalGen, RateSchedule};
+pub use dist::ServiceDist;
+pub use mica::{ColocatedWorkload, JobClass, MicaModel, MicaOp, MicaRequest, ZlibModel};
+pub use phased::PhasedService;
+pub use tracefile::EmpiricalDist;
+pub use zipf::Zipf;

@@ -1,0 +1,78 @@
+//! The §V-C scenario as an application: a MICA-style key-value store
+//! (latency-critical) sharing cores with zlib compression (best
+//! effort), scheduled by LibPreemptible with an adaptive quantum.
+//!
+//! ```text
+//! cargo run --release --example kvs_colocation
+//! ```
+//!
+//! Drives a bursty load (40 → 110 kRPS) and prints the per-phase mean
+//! latency of both job classes under three preemption policies —
+//! reproducing the trade-off of Fig. 14 from library-user code.
+
+use libpreemptible::adaptive::{AdaptiveConfig, QuantumController};
+use libpreemptible::{run, FcfsPreempt, RuntimeConfig, ServiceSource, WorkloadSpec};
+use lp_sim::SimDur;
+use lp_workload::{ColocatedWorkload, RateSchedule};
+
+fn main() {
+    let schedule = RateSchedule::Square {
+        base_rps: 40_000.0,
+        base_for: SimDur::millis(150),
+        spike_rps: 110_000.0,
+        spike_for: SimDur::millis(50),
+    };
+    let duration = SimDur::millis(800);
+    let control = SimDur::millis(10);
+
+    let spec = || WorkloadSpec {
+        source: ServiceSource::Colocated(ColocatedWorkload::paper_config()),
+        arrivals: schedule.clone(),
+        duration,
+        warmup: SimDur::millis(50),
+    };
+    // §V-C colocates on a single worker core (plus the timer core):
+    // that is where a 100 us zlib chunk visibly blocks 1 us MICA GETs.
+    let cfg = || RuntimeConfig {
+        workers: 1,
+        control_period: control,
+        series_frame: Some(SimDur::millis(25)),
+        ..RuntimeConfig::default()
+    };
+
+    let adaptive = {
+        let mut a = AdaptiveConfig::paper_defaults(110_000.0);
+        a.period = control;
+        a.t_min = SimDur::micros(10);
+        a.t_max = SimDur::micros(50);
+        FcfsPreempt::adaptive(QuantumController::new(a, SimDur::micros(50)))
+    };
+
+    println!("MICA (98% LC) + zlib (2% BE), bursty 40->110 kRPS, 1 worker\n");
+    println!(
+        "{:<22} {:>13} {:>12} {:>13} {:>14}",
+        "policy", "LC mean (us)", "LC p99 (us)", "BE p99 (us)", "final quantum"
+    );
+    for (label, policy) in [
+        ("no preemption", FcfsPreempt::fixed(SimDur::MAX)),
+        ("fixed 50us", FcfsPreempt::fixed(SimDur::micros(50))),
+        ("fixed 10us", FcfsPreempt::fixed(SimDur::micros(10))),
+        ("adaptive 10-50us", adaptive),
+    ] {
+        let r = run(cfg(), Box::new(policy), spec());
+        assert!(r.is_conserved());
+        let lc = r.class_latency(0);
+        let be = r.class_latency(1);
+        println!(
+            "{:<22} {:>13.1} {:>12.1} {:>13.1} {:>14}",
+            label,
+            lc.mean() / 1_000.0,
+            lc.p99() as f64 / 1_000.0,
+            be.p99() as f64 / 1_000.0,
+            r.final_quantum
+        );
+    }
+    println!("\nPreemption reclaims the core from 100 us zlib chunks within a");
+    println!("quantum, so MICA's tail drops by an order of magnitude; the");
+    println!("adaptive policy relaxes the quantum when the burst subsides.");
+}

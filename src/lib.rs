@@ -1,0 +1,1 @@
+pub use lp_experiments as experiments;
