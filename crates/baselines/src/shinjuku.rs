@@ -450,6 +450,8 @@ pub fn run_shinjuku(cfg: ShinjukuConfig, spec: WorkloadSpec) -> RunReport {
         quantum_series: None,
         slo_series: None,
         final_quantum: SimDur::ZERO,
+        metrics: Default::default(),
+        events: vec![],
     }
 }
 

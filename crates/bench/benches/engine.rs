@@ -7,6 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use libpreemptible::{run, FcfsPreempt, RuntimeConfig, ServiceSource, WorkloadSpec};
+use lp_sim::obs::{Event, Observer, TimedEvent};
+use lp_sim::trace::TraceRing;
 use lp_sim::{EventQueue, SimDur, SimTime};
 use lp_stats::Histogram;
 use lp_workload::{PhasedService, RateSchedule, ServiceDist, Zipf};
@@ -76,6 +78,82 @@ fn bench_workload(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing");
+    g.throughput(Throughput::Elements(100_000));
+    // The typed ring (hot-path emission: counter bump + Copy store)...
+    g.bench_function("typed_ring_emit_100k", |b| {
+        let mut obs = Observer::new(4_096);
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                obs.emit(
+                    SimTime::from_nanos(i),
+                    Event::Preempt { worker: (i % 8) as u16, fiber: i as u32, ran_ns: 10_000 },
+                );
+            }
+            black_box(obs.metrics().snapshot().counters.len())
+        })
+    });
+    // ...versus the legacy string ring it replaced (per-push format!).
+    g.bench_function("string_ring_push_100k", |b| {
+        let mut ring = TraceRing::new(4_096);
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                ring.push(
+                    SimTime::from_nanos(i),
+                    format!("preempt fiber {} on worker {} (ran 10000ns)", i, i % 8),
+                );
+            }
+            black_box(ring.len())
+        })
+    });
+    // Counters only — the always-on production configuration.
+    g.bench_function("counters_only_emit_100k", |b| {
+        let mut obs = Observer::counters_only();
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                obs.emit(
+                    SimTime::from_nanos(i),
+                    Event::Preempt { worker: (i % 8) as u16, fiber: i as u32, ran_ns: 10_000 },
+                );
+            }
+            black_box(obs.metrics().snapshot().counters.len())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("trace_export");
+    g.throughput(Throughput::Elements(4_096));
+    g.bench_function("jsonl_4k_events", |b| {
+        let mut obs = Observer::new(4_096);
+        for i in 0..4_096u64 {
+            obs.emit(
+                SimTime::from_nanos(i * 100),
+                Event::UipiSent { worker: (i % 8) as u16, vector: 0 },
+            );
+        }
+        b.iter(|| black_box(obs.to_jsonl().len()))
+    });
+    g.bench_function("parse_4k_lines", |b| {
+        let mut obs = Observer::new(4_096);
+        for i in 0..4_096u64 {
+            obs.emit(
+                SimTime::from_nanos(i * 100),
+                Event::TaskFinish { worker: (i % 8) as u16, fiber: i as u32, latency_ns: 5_000 },
+            );
+        }
+        let text = obs.to_jsonl();
+        b.iter(|| {
+            let n = text
+                .lines()
+                .filter_map(TimedEvent::parse_jsonl)
+                .count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime");
     g.sample_size(10);
@@ -102,5 +180,12 @@ fn bench_runtime(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(engine, bench_event_queue, bench_histogram, bench_workload, bench_runtime);
+criterion_group!(
+    engine,
+    bench_event_queue,
+    bench_histogram,
+    bench_workload,
+    bench_tracing,
+    bench_runtime
+);
 criterion_main!(engine);

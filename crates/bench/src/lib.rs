@@ -1,1 +1,4 @@
+//! Microbenchmark harness crate: no library code — the benchmarks live
+//! in `benches/engine.rs`. Run with `cargo bench -p lp-bench`.
 
+#![warn(missing_docs)]

@@ -337,6 +337,8 @@ mod tests {
                 quantum_series: None,
                 slo_series: None,
                 final_quantum: SimDur::ZERO,
+                metrics: Default::default(),
+                events: vec![],
             }
         });
         // rate = 70k is not strictly above the knee, so 0.7 is the last

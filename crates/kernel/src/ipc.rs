@@ -10,7 +10,8 @@
 //! so the hardware/software gap of Fig. 1 (left) is an output of the
 //! reproduction rather than an input.
 
-use lp_sim::SimDur;
+use lp_sim::obs::{Event, Observer};
+use lp_sim::{SimDur, SimTime};
 use rand::rngs::SmallRng;
 
 use lp_hw::jitter::standard_normal;
@@ -59,6 +60,24 @@ impl IpcMechanism {
     /// `true` for the hardware-assisted (kernel-bypass) paths.
     pub fn is_user_interrupt(self) -> bool {
         matches!(self, IpcMechanism::UintrFd | IpcMechanism::UintrFdBlocked)
+    }
+
+    /// Table IV row index — the `mech` code carried by `ipc_sampled`
+    /// events (see `docs/TRACING.md`).
+    pub fn index(self) -> u8 {
+        match self {
+            IpcMechanism::Signal => 0,
+            IpcMechanism::MessageQueue => 1,
+            IpcMechanism::Pipe => 2,
+            IpcMechanism::EventFd => 3,
+            IpcMechanism::UintrFd => 4,
+            IpcMechanism::UintrFdBlocked => 5,
+        }
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(idx: u8) -> Option<IpcMechanism> {
+        IpcMechanism::ALL.get(idx as usize).copied()
     }
 }
 
@@ -158,6 +177,26 @@ impl IpcLatency {
                 lp_hw::jitter::sample(rng, base, self.hw.jitter_sigma)
             }
         }
+    }
+
+    /// [`sample`](Self::sample) plus an `ipc_sampled` event recording
+    /// the mechanism ([`IpcMechanism::index`]) and drawn latency.
+    pub fn sample_observed(
+        &self,
+        mech: IpcMechanism,
+        rng: &mut SmallRng,
+        at: SimTime,
+        obs: &mut Observer,
+    ) -> SimDur {
+        let d = self.sample(mech, rng);
+        obs.emit(
+            at,
+            Event::IpcSampled {
+                mech: mech.index(),
+                latency_ns: d.as_nanos(),
+            },
+        );
+        d
     }
 
     /// Per-iteration overhead *besides* the notification latency that a
@@ -264,5 +303,31 @@ mod tests {
         assert_eq!(IpcMechanism::ALL[5].name(), "uintrFd (blocked)");
         assert!(IpcMechanism::UintrFd.is_user_interrupt());
         assert!(!IpcMechanism::Pipe.is_user_interrupt());
+    }
+
+    #[test]
+    fn index_round_trips_table_iv_order() {
+        for (i, mech) in IpcMechanism::ALL.iter().enumerate() {
+            assert_eq!(mech.index() as usize, i);
+            assert_eq!(IpcMechanism::from_index(mech.index()), Some(*mech));
+        }
+        assert_eq!(IpcMechanism::from_index(6), None);
+    }
+
+    #[test]
+    fn sample_observed_records_mechanism_and_latency() {
+        use lp_sim::obs::{Counter, Observer};
+        let lat = IpcLatency::default();
+        let mut r = rng(5, 0);
+        let mut obs = Observer::new(8);
+        let at = SimTime::from_nanos(42);
+        let d = lat.sample_observed(IpcMechanism::Pipe, &mut r, at, &mut obs);
+        assert_eq!(obs.metrics().get(Counter::IpcSamples), 1);
+        let te = obs.events().next().copied().unwrap();
+        assert_eq!(te.at, at);
+        assert_eq!(
+            te.ev,
+            Event::IpcSampled { mech: IpcMechanism::Pipe.index(), latency_ns: d.as_nanos() }
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! concurrent waiters (cacheline bouncing), which reproduces both the
 //! uncontended Table IV floor and the contended storm behaviour.
 
+use lp_sim::obs::{Event, Observer};
 use lp_sim::{SimDur, SimTime};
 use rand::rngs::SmallRng;
 
@@ -102,6 +103,26 @@ impl SignalPath {
             lock_wait,
         }
     }
+
+    /// [`deliver`](Self::deliver) plus a `signal_sent` event carrying
+    /// the lock wait — the per-send view behind Fig. 11's contention
+    /// curves.
+    pub fn deliver_observed(
+        &mut self,
+        now: SimTime,
+        worker: u16,
+        obs: &mut Observer,
+    ) -> SignalDelivery {
+        let d = self.deliver(now);
+        obs.emit(
+            now,
+            Event::SignalSent {
+                worker,
+                lock_wait_ns: d.lock_wait.as_nanos(),
+            },
+        );
+        d
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +197,27 @@ mod tests {
         assert_eq!(lone.lock_wait, SimDur::ZERO);
         assert!(lone.latency.as_micros_f64() < 12.0);
         assert_eq!(p.delivered(), 17);
+    }
+
+    #[test]
+    fn observed_delivery_carries_lock_wait() {
+        use lp_sim::obs::{Counter, Observer};
+        let mut p = path(5);
+        let mut obs = Observer::new(8);
+        let t = SimTime::from_nanos(500);
+        let first = p.deliver_observed(t, 1, &mut obs);
+        let second = p.deliver_observed(t, 2, &mut obs); // queues behind first
+        assert_eq!(obs.metrics().get(Counter::SignalsSent), 2);
+        let evs: Vec<_> = obs.events().copied().collect();
+        assert_eq!(
+            evs[0].ev,
+            Event::SignalSent { worker: 1, lock_wait_ns: first.lock_wait.as_nanos() }
+        );
+        assert_eq!(
+            evs[1].ev,
+            Event::SignalSent { worker: 2, lock_wait_ns: second.lock_wait.as_nanos() }
+        );
+        assert!(second.lock_wait > first.lock_wait);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! ([`KernelCosts::timer_floor`], [`KernelCosts::timer_jitter_sigma`],
 //! noise spikes).
 
-use lp_sim::SimDur;
+use lp_sim::obs::{Event, Observer};
+use lp_sim::{SimDur, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -48,6 +49,36 @@ impl KernelTimer {
         assert!(!target.is_zero(), "cannot arm a zero-length kernel timer");
         self.target = target;
         self.armed = true;
+    }
+
+    /// [`arm`](Self::arm) plus a `ktimer_armed` event recording the
+    /// requested interval for `worker`.
+    pub fn arm_observed(&mut self, target: SimDur, worker: u16, at: SimTime, obs: &mut Observer) {
+        self.arm(target);
+        obs.emit(
+            at,
+            Event::KtimerArmed {
+                worker,
+                target_ns: target.as_nanos(),
+            },
+        );
+    }
+
+    /// [`sample_expiry`](Self::sample_expiry) plus a `ktimer_fired`
+    /// event stamped at the sampled expiry instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer is not armed.
+    pub fn sample_expiry_observed(
+        &mut self,
+        worker: u16,
+        at: SimTime,
+        obs: &mut Observer,
+    ) -> SimDur {
+        let delay = self.sample_expiry();
+        obs.emit(at + delay, Event::KtimerFired { worker });
+        delay
     }
 
     /// Disarms without firing.
@@ -138,6 +169,24 @@ mod tests {
         t.disarm();
         assert!(!t.is_armed());
         assert!(!t.arm_cost().is_zero());
+    }
+
+    #[test]
+    fn observed_arm_and_expiry_emit_events() {
+        use lp_sim::obs::{Counter, Event, Observer};
+        let mut t = timer(7);
+        let mut obs = Observer::new(8);
+        let at = SimTime::from_nanos(1_000);
+        t.arm_observed(SimDur::micros(30), 4, at, &mut obs);
+        let delay = t.sample_expiry_observed(4, at, &mut obs);
+        assert_eq!(obs.metrics().get(Counter::KtimersArmed), 1);
+        assert_eq!(obs.metrics().get(Counter::KtimersFired), 1);
+        let evs: Vec<_> = obs.events().copied().collect();
+        assert_eq!(evs[0].at, at);
+        assert_eq!(evs[0].ev, Event::KtimerArmed { worker: 4, target_ns: 30_000 });
+        // The fired event is stamped at the sampled expiry instant.
+        assert_eq!(evs[1].at, at + delay);
+        assert_eq!(evs[1].ev, Event::KtimerFired { worker: 4 });
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! bounds immediately, so we implement the evidently intended clamp —
 //! shrink-but-not-below-T_min, grow-but-not-above-T_max.)
 
-use lp_sim::SimDur;
+use lp_sim::obs::{Event, Observer};
+use lp_sim::{SimDur, SimTime};
 use lp_stats::tail::dispersion_index;
 use lp_stats::WindowSummary;
 
@@ -184,6 +185,32 @@ impl QuantumController {
         self.quantum = tq.clamp(self.cfg.t_min, self.cfg.t_max);
         self.quantum
     }
+
+    /// [`update`](Self::update) plus a `quantum_adjusted` event when the
+    /// quantum actually moved; the `quantum_ns` gauge follows either
+    /// way.
+    pub fn update_observed(
+        &mut self,
+        s: &WindowSummary,
+        at: SimTime,
+        obs: &mut Observer,
+    ) -> SimDur {
+        let old = self.quantum;
+        let new = self.update(s);
+        if new != old {
+            obs.emit(
+                at,
+                Event::QuantumAdjusted {
+                    old_ns: old.as_nanos(),
+                    new_ns: new.as_nanos(),
+                },
+            );
+        } else {
+            obs.metrics_mut()
+                .set_gauge(lp_sim::obs::Gauge::QuantumNs, new.as_nanos() as f64);
+        }
+        new
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +302,31 @@ mod tests {
         let mut c = QuantumController::new(cfg(), SimDur::micros(30));
         let q = c.update(&summary(50_000.0, 5.0, 33.0, 20.0));
         assert_eq!(q, SimDur::micros(26));
+    }
+
+    #[test]
+    fn observed_update_emits_on_change_only() {
+        use lp_sim::obs::{Counter, Gauge, Observer};
+        let mut c = QuantumController::new(cfg(), SimDur::micros(30));
+        let mut obs = Observer::new(8);
+        let at = SimTime::from_nanos(10_000_000);
+        // Heavy tail: 30 → 26 us, one event.
+        let q = c.update_observed(&summary(50_000.0, 1.0, 400.0, 1.0), at, &mut obs);
+        assert_eq!(q, SimDur::micros(26));
+        assert_eq!(obs.metrics().get(Counter::QuantumAdjustments), 1);
+        assert_eq!(obs.metrics().gauge(Gauge::QuantumNs), 26_000.0);
+        assert_eq!(
+            obs.events().next().unwrap().ev,
+            Event::QuantumAdjusted { old_ns: 30_000, new_ns: 26_000 }
+        );
+        // Pinned at t_min: repeated shrink pressure stops emitting once
+        // the quantum can no longer move, but the gauge stays fresh.
+        for _ in 0..10 {
+            c.update_observed(&summary(99_000.0, 1.0, 500.0, 50.0), at, &mut obs);
+        }
+        assert_eq!(c.quantum(), SimDur::micros(3));
+        assert!(obs.metrics().get(Counter::QuantumAdjustments) < 11);
+        assert_eq!(obs.metrics().gauge(Gauge::QuantumNs), 3_000.0);
     }
 
     #[test]

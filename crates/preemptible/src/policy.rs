@@ -6,7 +6,8 @@
 //! evaluated policies are provided; users plug in their own by
 //! implementing the trait (see the `custom_policy` example).
 
-use lp_sim::SimDur;
+use lp_sim::obs::Observer;
+use lp_sim::{SimDur, SimTime};
 use lp_stats::WindowSummary;
 
 use crate::adaptive::QuantumController;
@@ -55,6 +56,14 @@ impl QuantumSource {
             c.update(s);
         }
     }
+
+    /// [`on_window`](Self::on_window), emitting a `quantum_adjusted`
+    /// event when the adaptive controller moves the quantum.
+    pub fn on_window_observed(&mut self, s: &WindowSummary, at: SimTime, obs: &mut Observer) {
+        if let QuantumSource::Adaptive(c) = self {
+            c.update_observed(s, at, obs);
+        }
+    }
 }
 
 /// A user-level scheduling policy.
@@ -81,6 +90,14 @@ pub trait Policy {
     /// Receives the per-control-period window summary (adaptive
     /// policies adjust their quantum here).
     fn on_window(&mut self, _summary: &WindowSummary) {}
+
+    /// Observability-threaded variant of [`on_window`](Self::on_window):
+    /// policies with an adaptive quantum emit `quantum_adjusted` events
+    /// through `obs`. The default delegates to `on_window`, so plain
+    /// policies need not care.
+    fn on_window_observed(&mut self, summary: &WindowSummary, _at: SimTime, _obs: &mut Observer) {
+        self.on_window(summary);
+    }
 }
 
 /// Centralized FCFS with preemption (the paper's headline policy):
@@ -131,6 +148,10 @@ impl Policy for FcfsPreempt {
 
     fn on_window(&mut self, summary: &WindowSummary) {
         self.quantum.on_window(summary);
+    }
+
+    fn on_window_observed(&mut self, summary: &WindowSummary, at: SimTime, obs: &mut Observer) {
+        self.quantum.on_window_observed(summary, at, obs);
     }
 }
 
@@ -183,6 +204,10 @@ impl Policy for RoundRobin {
     fn on_window(&mut self, summary: &WindowSummary) {
         self.quantum.on_window(summary);
     }
+
+    fn on_window_observed(&mut self, summary: &WindowSummary, at: SimTime, obs: &mut Observer) {
+        self.quantum.on_window_observed(summary, at, obs);
+    }
 }
 
 /// Oracle SRPT: resumes the preempted function with the least remaining
@@ -230,6 +255,10 @@ impl Policy for SrptOracle {
 
     fn on_window(&mut self, summary: &WindowSummary) {
         self.quantum.on_window(summary);
+    }
+
+    fn on_window_observed(&mut self, summary: &WindowSummary, at: SimTime, obs: &mut Observer) {
+        self.quantum.on_window_observed(summary, at, obs);
     }
 }
 

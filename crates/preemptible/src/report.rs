@@ -1,6 +1,7 @@
 //! Run reports: everything an experiment reads off a finished run.
 
 use lp_hw::{CoreClock, TimeClass};
+use lp_sim::obs::{MetricsSnapshot, TimedEvent};
 use lp_sim::{SimDur, SimTime};
 use lp_stats::{Histogram, TimeSeries};
 
@@ -47,6 +48,14 @@ pub struct RunReport {
     pub slo_series: Option<TimeSeries>,
     /// The quantum at the end of the run.
     pub final_quantum: SimDur,
+    /// Frozen metrics registry: every `lp_sim::obs` counter and gauge
+    /// the run accumulated (always collected).
+    pub metrics: MetricsSnapshot,
+    /// The last [`RuntimeConfig::trace_capacity`] typed trace events,
+    /// oldest first (empty when tracing was disabled).
+    ///
+    /// [`RuntimeConfig::trace_capacity`]: crate::RuntimeConfig::trace_capacity
+    pub events: Vec<TimedEvent>,
 }
 
 impl RunReport {
@@ -98,6 +107,18 @@ impl RunReport {
         self.arrivals == self.completions + self.dropped + self.in_flight
     }
 
+    /// The captured trace as JSONL, one event per line, oldest first
+    /// (see `docs/TRACING.md` for the schema). Byte-deterministic for
+    /// identical seeds and configurations.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for te in &self.events {
+            te.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
     /// Worker utilization (work only) over the run.
     pub fn worker_utilization(&self) -> f64 {
         if self.per_worker.is_empty() || self.duration.is_zero() {
@@ -144,6 +165,8 @@ mod tests {
             quantum_series: None,
             slo_series: None,
             final_quantum: SimDur::micros(30),
+            metrics: MetricsSnapshot::default(),
+            events: vec![],
         }
     }
 

@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 use lp_hw::uintr::{ReceiverState, SendOutcome, UintrDomain, Uitt};
 use lp_hw::{CoreClock, HwCosts, TimeClass};
 use lp_kernel::{KernelCosts, KernelTimer, SignalPath};
+use lp_sim::obs::{Event, Observer};
 use lp_sim::rng::{rng, streams};
 use lp_sim::{Ctx, EventId, Model, SimDur, SimTime, Simulation};
 use lp_stats::{Histogram, TimeSeries, WindowStats};
@@ -129,6 +130,11 @@ pub struct RuntimeConfig {
     pub series_frame: Option<SimDur>,
     /// Latency SLO for violation tracking.
     pub slo: Option<SimDur>,
+    /// Keep the last N typed trace events (see `lp_sim::obs` and
+    /// `docs/TRACING.md`). 0 disables the event ring; the metrics
+    /// counters in [`RunReport::metrics`](crate::RunReport) are always
+    /// collected.
+    pub trace_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -147,6 +153,7 @@ impl Default for RuntimeConfig {
             control_period: SimDur::millis(100),
             series_frame: None,
             slo: None,
+            trace_capacity: 0,
         }
     }
 }
@@ -229,6 +236,9 @@ pub struct LibPreemptibleSystem {
     dispatcher_clock: CoreClock,
     rr_cursor: usize,
 
+    /// Cross-layer typed event trace + metrics registry.
+    obs: Observer,
+
     // Counters (whole run).
     arrivals: u64,
     completions: u64,
@@ -291,6 +301,7 @@ impl LibPreemptibleSystem {
             dispatch_queue: VecDeque::new(),
             dispatcher_clock: CoreClock::new(),
             rr_cursor: 0,
+            obs: Observer::new(cfg.trace_capacity),
             arrivals: 0,
             completions: 0,
             dropped: 0,
@@ -386,7 +397,8 @@ impl LibPreemptibleSystem {
         match self.cfg.mech {
             PreemptMech::Uintr | PreemptMech::TimerCoreSignal => {
                 let slot = self.workers[worker].slot;
-                self.registry.arm(slot, start + q);
+                self.registry
+                    .arm_observed(slot, start + q, start, &mut self.obs);
                 self.armed_for[slot.index()] = Some((worker, seq));
                 self.update_timer_check(ctx);
                 // utimer_arm_deadline is one cache-line write (which
@@ -395,8 +407,12 @@ impl LibPreemptibleSystem {
             }
             PreemptMech::KernelTimerSignal => {
                 let w = &mut self.workers[worker];
-                w.ktimer.arm(q);
-                let actual = w.ktimer.sample_expiry();
+                w.ktimer.arm_observed(q, worker as u16, start, &mut self.obs);
+                // The hardware timer fires regardless of whether the
+                // expiry turns out stale: record it at the fire instant.
+                let actual = w
+                    .ktimer
+                    .sample_expiry_observed(worker as u16, start, &mut self.obs);
                 let cost = w.ktimer.arm_cost();
                 ctx.at(start + actual, Ev::KtimerExpiry { worker, seq });
                 cost
@@ -409,7 +425,7 @@ impl LibPreemptibleSystem {
         match self.cfg.mech {
             PreemptMech::Uintr | PreemptMech::TimerCoreSignal => {
                 let slot = self.workers[worker].slot;
-                self.registry.disarm(slot);
+                self.registry.disarm_observed(slot, ctx.now(), &mut self.obs);
                 self.armed_for[slot.index()] = None;
                 self.update_timer_check(ctx);
             }
@@ -461,14 +477,18 @@ impl LibPreemptibleSystem {
         debug_assert!(!remaining.is_zero(), "starting a completed context");
         let switch = self.cfg.hw.fcontext_switch;
         let pick = self.cfg.pick_cost;
-        self.workers[worker].clock.charge(TimeClass::Dispatch, pick + switch);
+        self.workers[worker]
+            .clock
+            .charge_observed(TimeClass::Dispatch, pick + switch, &mut self.obs);
         let mut start = now + pick + switch;
 
         self.workers[worker].seq += 1;
         let q = self.policy.quantum(class);
         let arm_extra = self.arm_deadline(worker, start, q, ctx);
         if !arm_extra.is_zero() {
-            self.workers[worker].clock.charge(TimeClass::Kernel, arm_extra);
+            self.workers[worker]
+                .clock
+                .charge_observed(TimeClass::Kernel, arm_extra, &mut self.obs);
             start += arm_extra;
         }
 
@@ -482,7 +502,14 @@ impl LibPreemptibleSystem {
             started: start,
             finish_ev,
         };
-        let _ = resumed;
+        self.obs.emit(
+            start,
+            Event::TaskStart {
+                worker: worker as u16,
+                fiber: id.index() as u32,
+                resumed,
+            },
+        );
     }
 
     fn handle_pick(&mut self, worker: usize, ctx: &mut Ctx<'_, Ev>) {
@@ -519,9 +546,11 @@ impl LibPreemptibleSystem {
                     match victim {
                         Some(v) => {
                             // Stealing touches a remote queue: extra cost.
-                            self.workers[worker]
-                                .clock
-                                .charge(TimeClass::Dispatch, self.cfg.pick_cost);
+                            self.workers[worker].clock.charge_observed(
+                                TimeClass::Dispatch,
+                                self.cfg.pick_cost,
+                                &mut self.obs,
+                            );
                             self.workers[v].local.pop_back().expect("victim non-empty")
                         }
                         None => return, // raced away
@@ -542,7 +571,7 @@ impl LibPreemptibleSystem {
 
     fn deliver_preemptions(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
-        let fired = self.registry.expired(now);
+        let fired = self.registry.expired_observed(now, &mut self.obs);
         let mut issue_at = now;
         for slot in fired {
             let Some((worker, seq)) = self.armed_for[slot.index()].take() else {
@@ -554,7 +583,8 @@ impl LibPreemptibleSystem {
                     // serially.
                     let issue = self.jitter(self.cfg.hw.senduipi_issue);
                     issue_at += issue;
-                    self.timer_clock.charge(TimeClass::Preemption, issue);
+                    self.timer_clock
+                        .charge_observed(TimeClass::Preemption, issue, &mut self.obs);
                     let entry = self
                         .timer_uitt
                         .get(self.workers[worker].uitt_index)
@@ -562,20 +592,38 @@ impl LibPreemptibleSystem {
                     // Workers are on-CPU; the architectural fast path.
                     let outcome = self
                         .uintr
-                        .senduipi(entry, ReceiverState::RunningUifSet)
+                        .senduipi_observed(
+                            entry,
+                            ReceiverState::RunningUifSet,
+                            worker as u16,
+                            issue_at,
+                            &mut self.obs,
+                        )
                         .expect("live UPID");
                     debug_assert_eq!(outcome, SendOutcome::NotifiedRunning);
-                    self.uintr.acknowledge(entry.upid).expect("live UPID");
                     let delivery = self.jitter(self.cfg.hw.uintr_delivery_running);
+                    // The PUIR is acknowledged the instant the interrupt
+                    // lands; stamp the delivery event there so the trace
+                    // reads in causal order.
+                    self.uintr
+                        .acknowledge_observed(
+                            entry.upid,
+                            worker as u16,
+                            issue_at + delivery,
+                            &mut self.obs,
+                        )
+                        .expect("live UPID");
                     ctx.at(issue_at + delivery, Ev::PreemptArrive { worker, seq });
                 }
                 PreemptMech::TimerCoreSignal => {
                     // The timer core tgkill()s the worker; the kernel
                     // signal path serializes and jitters delivery.
-                    let d = self.signal_path.deliver(issue_at);
+                    let d = self
+                        .signal_path
+                        .deliver_observed(issue_at, worker as u16, &mut self.obs);
                     issue_at += self.cfg.kernel.syscall;
                     self.timer_clock
-                        .charge(TimeClass::Preemption, d.sender_busy);
+                        .charge_observed(TimeClass::Preemption, d.sender_busy, &mut self.obs);
                     ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq });
                 }
                 _ => unreachable!("timer core disabled for {:?}", self.cfg.mech),
@@ -601,10 +649,11 @@ impl LibPreemptibleSystem {
                 debug_assert!(started_at <= now);
                 let executed = now.saturating_since(started_at);
                 let w = &mut self.workers[worker];
-                w.clock.charge(TimeClass::Work, executed);
-                w.clock.charge(
+                w.clock.charge_observed(TimeClass::Work, executed, &mut self.obs);
+                w.clock.charge_observed(
                     TimeClass::Preemption,
                     recv_cost + self.cfg.hw.fcontext_switch,
+                    &mut self.obs,
                 );
                 w.seq += 1;
                 w.state = WState::Idle;
@@ -616,6 +665,14 @@ impl LibPreemptibleSystem {
                         // treat as completed.
                         let (arrived, class, total) = (c.arrived, c.class, c.total);
                         self.pool.release(id);
+                        self.obs.emit(
+                            now,
+                            Event::TaskFinish {
+                                worker: worker as u16,
+                                fiber: id.index() as u32,
+                                latency_ns: now.since(arrived).as_nanos(),
+                            },
+                        );
                         self.record_completion(arrived, class, total, now);
                     } else {
                         // Cache/TLB pollution: the resumed computation
@@ -624,6 +681,14 @@ impl LibPreemptibleSystem {
                         c.remaining += self.cfg.hw.switch_pollution;
                         self.pool.park(id);
                         self.preemptions += 1;
+                        self.obs.emit(
+                            now,
+                            Event::Preempt {
+                                worker: worker as u16,
+                                fiber: id.index() as u32,
+                                ran_ns: executed.as_nanos(),
+                            },
+                        );
                     }
                 }
                 self.disarm_deadline(worker, ctx);
@@ -652,16 +717,22 @@ impl LibPreemptibleSystem {
                     worker,
                     seq: w_seq,
                 });
-                self.workers[worker]
-                    .clock
-                    .charge(TimeClass::Preemption, recv_cost);
+                self.obs.emit(now, Event::SpuriousPreempt { worker: worker as u16 });
+                self.workers[worker].clock.charge_observed(
+                    TimeClass::Preemption,
+                    recv_cost,
+                    &mut self.obs,
+                );
             }
             WState::Idle => {
                 // Spurious delivery to an idle worker: handler cost only.
                 self.spurious += 1;
-                self.workers[worker]
-                    .clock
-                    .charge(TimeClass::Preemption, recv_cost);
+                self.obs.emit(now, Event::SpuriousPreempt { worker: worker as u16 });
+                self.workers[worker].clock.charge_observed(
+                    TimeClass::Preemption,
+                    recv_cost,
+                    &mut self.obs,
+                );
             }
         }
     }
@@ -675,7 +746,9 @@ impl LibPreemptibleSystem {
         };
         let now = ctx.now();
         let executed = now.saturating_since(started);
-        self.workers[worker].clock.charge(TimeClass::Work, executed);
+        self.workers[worker]
+            .clock
+            .charge_observed(TimeClass::Work, executed, &mut self.obs);
         self.disarm_deadline(worker, ctx);
         let (arrived, total) = {
             let c = self.pool.get(id);
@@ -683,6 +756,14 @@ impl LibPreemptibleSystem {
         };
         self.pool.get_mut(id).remaining = SimDur::ZERO;
         self.pool.release(id);
+        self.obs.emit(
+            now,
+            Event::TaskFinish {
+                worker: worker as u16,
+                fiber: id.index() as u32,
+                latency_ns: now.since(arrived).as_nanos(),
+            },
+        );
         self.record_completion(arrived, class, total, now);
         self.workers[worker].seq += 1;
         self.workers[worker].state = WState::Idle;
@@ -703,6 +784,7 @@ impl Model for LibPreemptibleSystem {
                     ts.record(now.as_nanos(), 1.0);
                 }
                 let (class, service) = self.spec.source.sample(now, &mut self.service_rng);
+                self.obs.emit(now, Event::Arrival { class });
                 self.dispatch_queue.push_back(PendingReq {
                     arrived: now,
                     class,
@@ -711,7 +793,8 @@ impl Model for LibPreemptibleSystem {
                 // Dispatcher serializes request handling.
                 let start = self.dispatch_free_at.max(now);
                 let cost = self.cfg.dispatch_cost;
-                self.dispatcher_clock.charge(TimeClass::Dispatch, cost);
+                self.dispatcher_clock
+                    .charge_observed(TimeClass::Dispatch, cost, &mut self.obs);
                 self.dispatch_free_at = start + cost;
                 ctx.at(self.dispatch_free_at, Ev::Dispatched);
 
@@ -740,6 +823,7 @@ impl Model for LibPreemptibleSystem {
                     }
                     Err(_) => {
                         self.dropped += 1;
+                        self.obs.emit(ctx.now(), Event::Drop { class: req.class });
                     }
                 }
             }
@@ -753,12 +837,16 @@ impl Model for LibPreemptibleSystem {
                 if self.workers[worker].seq == seq
                     && matches!(self.workers[worker].state, WState::Running { .. })
                 {
-                    let d = self.signal_path.deliver(ctx.now());
+                    let d = self
+                        .signal_path
+                        .deliver_observed(ctx.now(), worker as u16, &mut self.obs);
                     // Sender is the kernel timer softirq: charge kernel
                     // time to the victim's core.
-                    self.workers[worker]
-                        .clock
-                        .charge(TimeClass::Kernel, d.sender_busy);
+                    self.workers[worker].clock.charge_observed(
+                        TimeClass::Kernel,
+                        d.sender_busy,
+                        &mut self.obs,
+                    );
                     ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq });
                 }
             }
@@ -766,7 +854,7 @@ impl Model for LibPreemptibleSystem {
             Ev::ControlTick => {
                 let now = ctx.now();
                 let summary = self.window.roll(now.as_nanos());
-                self.policy.on_window(&summary);
+                self.policy.on_window_observed(&summary, now, &mut self.obs);
                 if let Some(ts) = self.quantum_series.as_mut() {
                     let q = self.policy.quantum(0);
                     if q != SimDur::MAX {
@@ -817,7 +905,7 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn Policy>, spec: WorkloadSpec) -> R
     sim.schedule_at(SimTime::ZERO + control_period, Ev::ControlTick);
     sim.run_until(SimTime::ZERO + duration);
 
-    let m = sim.into_model();
+    let mut m = sim.into_model();
     let mut cores = CoreClock::new();
     let per_worker: Vec<CoreClock> = m.workers.iter().map(|w| w.clock.clone()).collect();
     for w in &per_worker {
@@ -855,10 +943,9 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn Policy>, spec: WorkloadSpec) -> R
         qps_series: m.qps_series,
         quantum_series: m.quantum_series,
         slo_series: m.slo_series,
-        final_quantum: {
-            
-            m.policy.quantum(0)
-        },
+        final_quantum: m.policy.quantum(0),
+        metrics: m.obs.snapshot(),
+        events: m.obs.take_events(),
     }
 }
 

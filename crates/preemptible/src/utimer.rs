@@ -20,6 +20,7 @@
 //! per worker the linear pass *is* the fast path, exactly like the
 //! paper's per-worker deadline cachelines.
 
+use lp_sim::obs::{Event, Observer};
 use lp_sim::SimTime;
 
 /// Identifies a registered deadline slot.
@@ -96,6 +97,32 @@ impl UtimerRegistry {
         }
     }
 
+    /// [`arm`](Self::arm) plus a `deadline_armed` event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never registered.
+    pub fn arm_observed(&mut self, slot: SlotId, deadline: SimTime, at: SimTime, obs: &mut Observer) {
+        self.arm(slot, deadline);
+        obs.emit(
+            at,
+            Event::DeadlineArmed {
+                slot: slot.0 as u16,
+                deadline_ns: deadline.as_nanos(),
+            },
+        );
+    }
+
+    /// [`disarm`](Self::disarm) plus a `deadline_disarmed` event — only
+    /// emitted when the slot was actually armed.
+    pub fn disarm_observed(&mut self, slot: SlotId, at: SimTime, obs: &mut Observer) {
+        let was_armed = self.deadline(slot).is_some();
+        self.disarm(slot);
+        if was_armed {
+            obs.emit(at, Event::DeadlineDisarmed { slot: slot.0 as u16 });
+        }
+    }
+
     /// The armed deadline of `slot`, if any.
     pub fn deadline(&self, slot: SlotId) -> Option<SimTime> {
         self.deadlines.get(slot.0).copied().flatten()
@@ -114,6 +141,15 @@ impl UtimerRegistry {
                 }
             }
         }
+        fired
+    }
+
+    /// [`expired`](Self::expired) plus a `timer_poll` event recording
+    /// how many deadlines this scan fired (including zero — poll
+    /// frequency itself is a cost the paper measures).
+    pub fn expired_observed(&mut self, now: SimTime, obs: &mut Observer) -> Vec<SlotId> {
+        let fired = self.expired(now);
+        obs.emit(now, Event::TimerPoll { expired: fired.len() as u16 });
         fired
     }
 
@@ -315,6 +351,32 @@ mod tests {
         r.arm(a, t(10));
         r.arm(b, t(10));
         assert_eq!(r.expired(t(10)), vec![a, b, c]);
+    }
+
+    #[test]
+    fn registry_observed_emits_schema_events() {
+        use lp_sim::obs::{Counter, Observer};
+        let mut r = UtimerRegistry::new();
+        let a = r.register();
+        let mut obs = Observer::new(16);
+        r.arm_observed(a, t(500), t(100), &mut obs);
+        // Empty poll still records the scan.
+        assert!(r.expired_observed(t(200), &mut obs).is_empty());
+        assert_eq!(r.expired_observed(t(600), &mut obs), vec![a]);
+        // Disarming an already-fired slot emits nothing.
+        r.disarm_observed(a, t(700), &mut obs);
+        r.arm_observed(a, t(900), t(800), &mut obs);
+        r.disarm_observed(a, t(850), &mut obs);
+        let m = obs.metrics();
+        assert_eq!(m.get(Counter::DeadlinesArmed), 2);
+        assert_eq!(m.get(Counter::DeadlinesDisarmed), 1);
+        assert_eq!(m.get(Counter::TimerPolls), 2);
+        assert_eq!(m.get(Counter::DeadlinesFired), 1);
+        let evs: Vec<_> = obs.events().copied().collect();
+        assert_eq!(evs[0].ev, Event::DeadlineArmed { slot: 0, deadline_ns: 500 });
+        assert_eq!(evs[1].ev, Event::TimerPoll { expired: 0 });
+        assert_eq!(evs[2].ev, Event::TimerPoll { expired: 1 });
+        assert_eq!(evs[4].ev, Event::DeadlineDisarmed { slot: 0 });
     }
 
     #[test]

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod obs;
 mod queue;
 pub mod rng;
 mod time;

@@ -7,7 +7,6 @@
 //! sub-buckets, so any recorded value is reproduced within
 //! `2^-precision_bits` relative error (default: 1/128 < 1%).
 
-use serde::{Deserialize, Serialize};
 
 /// Default sub-bucket precision: values quantized within 1/128 (< 1%).
 pub const DEFAULT_PRECISION_BITS: u32 = 7;
@@ -28,7 +27,7 @@ pub const DEFAULT_PRECISION_BITS: u32 = 7;
 /// let p50 = h.quantile(0.5);
 /// assert!((p50 as f64 - 300.0).abs() / 300.0 < 0.01);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     precision_bits: u32,
     /// counts, indexed by bucket index (see `index_of`).

@@ -13,8 +13,8 @@
 //! * [`Table`] — aligned text/CSV rendering so every experiment binary
 //!   prints its paper artifact the same way.
 //!
-//! The crate is deliberately simulation-agnostic (it depends only on
-//! `serde`), so the same types serve unit tests, the simulated runtime,
+//! The crate is deliberately simulation-agnostic (it has no
+//! dependencies), so the same types serve unit tests, the simulated runtime,
 //! and the experiment harness.
 
 #![warn(missing_docs)]

@@ -8,7 +8,6 @@
 //! metrics (Stats) collected from the previous requests over a given time
 //! window").
 
-use serde::{Deserialize, Serialize};
 
 use crate::histogram::Histogram;
 
@@ -25,14 +24,14 @@ use crate::histogram::Histogram;
 /// assert_eq!(frames[0].mean(), 6.0);
 /// assert_eq!(frames[1].count, 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     frame_width: u64,
     frames: Vec<Frame>,
 }
 
 /// Aggregate of one time frame.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Frame {
     /// Frame start time (inclusive), in the series' time unit.
     pub start: u64,
@@ -116,7 +115,7 @@ impl TimeSeries {
 /// scheduler reads the request load μ, median and tail latencies, and
 /// queue lengths, then resets the window. Latencies are recorded in
 /// nanoseconds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WindowStats {
     latency: Histogram,
     /// Completed requests this window.
@@ -229,7 +228,7 @@ impl WindowStats {
 }
 
 /// One control-period summary handed to the adaptive quantum controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowSummary {
     /// Offered load (arrivals per second), the paper's μ.
     pub load_rps: f64,
