@@ -51,7 +51,7 @@ fn bench_fig8(c: &mut Criterion) {
     g.sample_size(10);
     // One representative point per system rather than the whole sweep.
     for sys in SystemUnderTest::ALL {
-        g.bench_function(format!("A1_rho0.8/{}", sys.name()), |b| {
+        g.bench_function(&format!("A1_rho0.8/{}", sys.name()), |b| {
             b.iter(|| {
                 let rate = PaperWorkload::A1.rate_for(0.8, sys.workers());
                 let r = common::run_system(sys, PaperWorkload::A1, rate, Scale::Quick, SEED);

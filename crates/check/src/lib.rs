@@ -1,0 +1,42 @@
+//! # lp-check — machine-checked guardrails for the reproduction
+//!
+//! Every result in this repository rests on two unchecked promises:
+//!
+//! 1. **Determinism** — the simulator is byte-deterministic (same seed,
+//!    same JSONL trace, pinned by `tests/observability.rs`). One
+//!    `std::collections::HashMap` iteration or `Instant::now()` on a
+//!    sim path silently breaks it.
+//! 2. **Observability pairing** — every hardware/kernel state mutation
+//!    that matters is mirrored by an `_observed` event from the
+//!    `docs/TRACING.md` vocabulary, so metrics can never drift from the
+//!    model.
+//!
+//! `lp-check` turns both promises (plus the `unsafe` hygiene rules)
+//! into a CI gate with two engines:
+//!
+//! * [`lint`] — a token/line-level analyzer over all `crates/*/src`
+//!   files enforcing the declared rule table in [`rules`], with
+//!   per-site `// lp-check: allow(<rule>, <reason>)` suppressions and
+//!   JSON + human diagnostics.
+//! * [`model`] — an exhaustive-interleaving checker (bounded DFS with
+//!   optional partial-order reduction) that drives the *real*
+//!   [`UintrDomain`](lp_hw::uintr::UintrDomain) API through every
+//!   schedule of small sender/receiver programs and asserts the UPID
+//!   ON/SN/PIR protocol invariants on every path.
+//!
+//! Run both from the workspace root:
+//!
+//! ```sh
+//! cargo run -p lp-check -- lint     # determinism/observability linter
+//! cargo run -p lp-check -- model    # exhaustive UINTR protocol check
+//! cargo run -p lp-check -- all      # both; nonzero exit on any finding
+//! ```
+//!
+//! The rule catalogue and invariant list live in `docs/CHECKS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod model;
+pub mod rules;

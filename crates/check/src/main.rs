@@ -1,0 +1,133 @@
+//! The `lp-check` CLI: `lint`, `model`, or `all`.
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lp_check::model::Mode;
+use lp_check::{lint, model};
+
+const USAGE: &str = "\
+usage: lp-check <lint|model|all> [options]
+
+subcommands:
+  lint    walk crates/*/src and enforce the determinism/observability
+          rule table (docs/CHECKS.md)
+  model   exhaustively explore the UPID sender/receiver interleavings
+          and check the protocol invariants
+  all     lint + model
+
+options:
+  --json         machine-readable output
+  --root <path>  workspace root (default: discovered from cwd)
+  --por          model: prune with partial-order reduction instead of
+                 enumerating every schedule
+";
+
+struct Args {
+    cmd: String,
+    json: bool,
+    por: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().ok_or_else(|| "missing subcommand".to_string())?;
+    let mut args = Args { cmd, json: false, por: false, root: None };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--por" => args.por = true,
+            "--root" => {
+                let p = argv.next().ok_or_else(|| "--root needs a path".to_string())?;
+                args.root = Some(PathBuf::from(p));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Ascends from the current directory to the first one that looks like
+/// the workspace root (has both `Cargo.toml` and `crates/`).
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_lint(args: &Args) -> Result<bool, String> {
+    let root = args
+        .root
+        .clone()
+        .or_else(discover_root)
+        .ok_or_else(|| "could not find the workspace root; pass --root".to_string())?;
+    let report = lint::lint_workspace(&root).map_err(|e| format!("lint failed: {e}"))?;
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.human());
+    }
+    Ok(report.is_clean())
+}
+
+fn run_model(args: &Args) -> bool {
+    let mode = if args.por { Mode::Por } else { Mode::Full };
+    let report = model::check_default(mode);
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.human());
+    }
+    // The CI gate: every invariant holds, and (in full mode) the suite
+    // actually enumerated a meaningful schedule count.
+    report.holds() && (mode == Mode::Por || report.total_schedules() >= 1000)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lp-check: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let ok = match args.cmd.as_str() {
+        "lint" => match run_lint(&args) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("lp-check: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        "model" => run_model(&args),
+        "all" => {
+            let lint_ok = match run_lint(&args) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    eprintln!("lp-check: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let model_ok = run_model(&args);
+            lint_ok && model_ok
+        }
+        other => {
+            eprintln!("lp-check: unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,134 @@
+//! The declared rule table: every lint `lp-check` enforces, with its
+//! identifier (the name used in `lp-check: allow(...)` suppressions),
+//! rationale, and scope. `docs/CHECKS.md` is the prose catalogue of
+//! this table; keep the two in sync.
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Nondeterminism sources banned from sim-path crates.
+    Nondet,
+    /// Observability pairing: emitted events must be in the documented
+    /// vocabulary and every `*_observed` wrapper must keep its plain
+    /// twin.
+    ObsPair,
+    /// `unsafe` code is confined to `lp-fibers`.
+    UnsafeScope,
+    /// Every `unsafe` block / `unsafe impl` carries a `// SAFETY:`
+    /// justification.
+    SafetyComment,
+    /// No `println!`/`eprintln!` in library code.
+    NoPrint,
+    /// A malformed suppression comment (missing rule or reason).
+    BadAllow,
+}
+
+impl RuleId {
+    /// All rules, in reporting order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::Nondet,
+        RuleId::ObsPair,
+        RuleId::UnsafeScope,
+        RuleId::SafetyComment,
+        RuleId::NoPrint,
+        RuleId::BadAllow,
+    ];
+
+    /// The stable identifier used in diagnostics and in
+    /// `// lp-check: allow(<id>, <reason>)` suppressions.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::Nondet => "nondet",
+            RuleId::ObsPair => "obs-pair",
+            RuleId::UnsafeScope => "unsafe-scope",
+            RuleId::SafetyComment => "safety-comment",
+            RuleId::NoPrint => "no-print",
+            RuleId::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a rule identifier as written in a suppression.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.id() == s)
+    }
+
+    /// One-line rationale, shown in `--explain`-style output and
+    /// mirrored in `docs/CHECKS.md`.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            RuleId::Nondet => {
+                "the simulation must be byte-deterministic (same seed, same JSONL); \
+                 randomized hashing, wall-clock reads, and OS sleeps silently break that"
+            }
+            RuleId::ObsPair => {
+                "every state mutation that matters is mirrored by an `_observed` event; \
+                 an event outside docs/TRACING.md's vocabulary (or a wrapper without its \
+                 plain twin) means metrics can drift from the model"
+            }
+            RuleId::UnsafeScope => {
+                "only the real-context crate lp-fibers has a reason to touch raw stacks; \
+                 unsafe anywhere else is a smell in a pure simulation"
+            }
+            RuleId::SafetyComment => {
+                "every unsafe block must state the invariant that makes it sound, where \
+                 the next reader will see it"
+            }
+            RuleId::NoPrint => {
+                "library crates report through the Observer/RunReport, never stdout; \
+                 prints belong in bins and examples"
+            }
+            RuleId::BadAllow => {
+                "a suppression without a known rule id and a reason defeats the audit \
+                 trail suppressions exist to provide"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Source tokens the [`RuleId::Nondet`] rule bans (matched against
+/// comment- and string-stripped code, on identifier boundaries, so
+/// both `use std::collections::HashMap` and a later bare `HashMap`
+/// reference fire).
+pub const NONDET_TOKENS: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "thread::sleep",
+];
+
+/// Crates (directory names under `crates/`) exempt from
+/// [`RuleId::Nondet`]: `fibers` runs *real* threads on real stacks with
+/// real deadlines by design (it is the non-simulated artifact), and
+/// `check` is the host-side analysis tool, not on any simulated path.
+pub const NONDET_EXEMPT_CRATES: [&str; 2] = ["fibers", "check"];
+
+/// The only crate allowed to contain `unsafe` code
+/// ([`RuleId::UnsafeScope`]).
+pub const UNSAFE_ALLOWED_CRATE: &str = "fibers";
+
+/// Crates whose sources must only construct documented events and whose
+/// `*_observed` wrappers must keep their plain twin
+/// ([`RuleId::ObsPair`]).
+pub const OBS_PAIRED_CRATES: [&str; 3] = ["hw", "kernel", "preemptible"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.id()), Some(r));
+            assert!(!r.rationale().is_empty());
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+}

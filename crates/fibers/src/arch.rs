@@ -95,14 +95,18 @@ unsafe extern "sysv64" fn trampoline() {
 pub unsafe fn prepare_stack(stack_top: *mut u8) -> StackPointer {
     debug_assert_eq!(stack_top as usize % 16, 0, "stack top must be 16-aligned");
     let mut sp = stack_top as *mut usize;
-    // Return address the final `ret` of switch_stacks will pop.
-    sp = sp.sub(1);
-    sp.write(trampoline as *const () as usize);
-    // Zeroed callee-saved frame (rbp, rbx, r12..r15), popped in
-    // reverse order by switch_stacks.
-    for _ in 0..6 {
+    // SAFETY: the caller guarantees at least 7 writable machine words
+    // below `stack_top`; all writes stay within that region.
+    unsafe {
+        // Return address the final `ret` of switch_stacks will pop.
         sp = sp.sub(1);
-        sp.write(0);
+        sp.write(trampoline as *const () as usize);
+        // Zeroed callee-saved frame (rbp, rbx, r12..r15), popped in
+        // reverse order by switch_stacks.
+        for _ in 0..6 {
+            sp = sp.sub(1);
+            sp.write(0);
+        }
     }
     sp as StackPointer
 }
@@ -114,12 +118,15 @@ mod tests {
     #[test]
     fn prepared_stack_layout() {
         let mut buf = vec![0u8; 1024];
+        // SAFETY: one-past-the-end of the live buffer.
         let top = unsafe { buf.as_mut_ptr().add(1024) };
         let top = ((top as usize) & !15) as *mut u8;
+        // SAFETY: `top` is 16-aligned inside a 1 KiB writable buffer.
         let sp = unsafe { prepare_stack(top) };
         // 7 words below the top.
         assert_eq!(top as usize - sp, 7 * 8);
         // The word the final `ret` pops is the trampoline.
+        // SAFETY: reads the word `prepare_stack` just wrote.
         let ret_slot = unsafe { *(top as *const usize).sub(1) };
         assert_eq!(ret_slot, trampoline as *const () as usize);
     }

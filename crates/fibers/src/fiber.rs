@@ -61,12 +61,17 @@ struct Inner {
 /// The entry function the architecture trampoline calls on the fiber's
 /// stack. `arg` is the `Inner` pointer passed by the first switch.
 pub(crate) unsafe extern "sysv64" fn fiber_entry(arg: usize) -> ! {
-    let inner = &*(arg as *const Inner);
+    // SAFETY: the only caller is the arch trampoline, whose bootstrap
+    // frame was filed by `Fiber::with_stack` with `arg` set to the
+    // `Inner` box that outlives the whole run of this fiber.
+    let inner = unsafe { &*(arg as *const Inner) };
     let yielder = Yielder {
         inner,
         _not_send: PhantomData,
     };
-    let func = (*inner.func.get()).take().expect("fiber entered twice");
+    // SAFETY: `func` is only taken here, exactly once per fiber (first
+    // entry); no other reference to the cell exists while we run.
+    let func = unsafe { (*inner.func.get()).take() }.expect("fiber entered twice");
     let result = catch_unwind(AssertUnwindSafe(|| func(&yielder)));
     let code = match result {
         Ok(()) => CODE_COMPLETED,
@@ -74,13 +79,17 @@ pub(crate) unsafe extern "sysv64" fn fiber_entry(arg: usize) -> ! {
             if payload.downcast_ref::<Cancelled>().is_some() {
                 CODE_COMPLETED
             } else {
-                *inner.panic.get() = Some(payload);
+                // SAFETY: the caller side only reads `panic` after this
+                // fiber switched out for good (CODE_PANICKED below).
+                unsafe { *inner.panic.get() = Some(payload) };
                 CODE_PANICKED
             }
         }
     };
     // Final switch out; this context is dead and must never resume.
-    switch_stacks(inner.fiber_sp.get(), inner.caller_sp.get(), code);
+    // SAFETY: `caller_sp` was stored by the `resume` that entered us
+    // and its stack is suspended waiting for exactly this switch.
+    unsafe { switch_stacks(inner.fiber_sp.get(), inner.caller_sp.get(), code) };
     unreachable!("completed fiber resumed");
 }
 
@@ -92,6 +101,9 @@ pub struct Yielder<'a> {
 
 impl Yielder<'_> {
     fn switch_out(&self, code: usize) {
+        // SAFETY: called from fiber context only (the Yielder never
+        // leaves the closure), so `caller_sp` holds the suspended
+        // caller written by the `resume` that entered us.
         let resume = unsafe {
             switch_stacks(
                 self.inner.fiber_sp.get(),
@@ -194,6 +206,9 @@ impl Fiber {
     where
         F: FnOnce(&Yielder) + 'static,
     {
+        // SAFETY: `stack.top()` is the one-past-the-end address of an
+        // owned, writable, 16-byte-aligned allocation of >= 4 KiB —
+        // ample for the 7-word bootstrap frame.
         let sp = unsafe { prepare_stack(stack.top()) };
         Fiber {
             inner: Box::new(Inner {
@@ -230,6 +245,10 @@ impl Fiber {
         } else {
             RESUME_RUN
         };
+        // SAFETY: `fiber_sp` is either the bootstrap frame filed by
+        // `prepare_stack` (first resume) or the frame saved by the
+        // fiber's own `switch_out`; the state check above guarantees
+        // the fiber is not completed, so the frame is live and unique.
         let code = unsafe {
             switch_stacks(self.inner.caller_sp.get(), self.inner.fiber_sp.get(), arg)
         };
@@ -248,6 +267,9 @@ impl Fiber {
             }
             CODE_PANICKED => {
                 self.state = State::Completed;
+                // SAFETY: the fiber stored the payload and switched out
+                // for good before signalling CODE_PANICKED; we are the
+                // only remaining accessor of the cell.
                 let payload = unsafe { (*self.inner.panic.get()).take() }
                     .expect("panicked fiber without payload");
                 resume_unwind(payload);
@@ -285,6 +307,9 @@ impl Drop for Fiber {
         if matches!(self.state, State::Suspended) {
             // Unwind the fiber so locals on its stack are dropped.
             self.inner.cancel.set(true);
+            // SAFETY: the fiber is suspended at a `switch_out`, so its
+            // saved frame is live; RESUME_CANCEL makes it unwind and
+            // switch back exactly once with CODE_COMPLETED.
             let code = unsafe {
                 switch_stacks(
                     self.inner.caller_sp.get(),

@@ -39,6 +39,7 @@
 //! testbed.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![cfg(all(target_arch = "x86_64", unix))]
 
 mod arch;

@@ -20,9 +20,9 @@ pub struct Stack {
     size: usize,
 }
 
-// The stack is plain memory; ownership moves freely across threads as
-// long as the fiber running on it does not (enforced by Fiber being
-// !Send while suspended mid-run — see fiber.rs).
+// SAFETY: the stack is plain owned memory; ownership moves freely
+// across threads as long as the fiber running on it does not (enforced
+// by Fiber being !Send while suspended mid-run — see fiber.rs).
 unsafe impl Send for Stack {}
 
 impl Stack {
@@ -36,9 +36,12 @@ impl Stack {
         assert!(size >= 4096, "stack of {size} bytes is too small");
         let size = (size + 15) & !15;
         let layout = Layout::from_size_align(size, 16).expect("stack layout");
+        // SAFETY: `layout` has nonzero size (asserted >= 4 KiB above).
         let base = unsafe { alloc(layout) };
         assert!(!base.is_null(), "stack allocation failed");
         let stack = Stack { base, size };
+        // SAFETY: `base` points at a fresh allocation of at least
+        // CANARY_WORDS * 8 bytes, exclusively owned by `stack`.
         unsafe {
             let words = base as *mut u64;
             for i in 0..CANARY_WORDS {
@@ -51,6 +54,8 @@ impl Stack {
     /// One-past-the-end (highest) address, 16-byte aligned — where the
     /// bootstrap frame is filed.
     pub fn top(&self) -> *mut u8 {
+        // SAFETY: one-past-the-end of the owned allocation is a valid
+        // provenance-carrying address (never dereferenced as such).
         let top = unsafe { self.base.add(self.size) };
         debug_assert_eq!(top as usize % 16, 0);
         top
@@ -64,6 +69,8 @@ impl Stack {
     /// `true` if the low-end canary is intact (no overflow reached the
     /// bottom of the stack).
     pub fn canary_intact(&self) -> bool {
+        // SAFETY: the canary words were written at construction and
+        // the allocation lives until Drop.
         unsafe {
             let words = self.base as *const u64;
             (0..CANARY_WORDS).all(|i| words.add(i).read() == CANARY)
@@ -78,6 +85,8 @@ impl Drop for Stack {
             "fiber stack overflow detected on drop"
         );
         let layout = Layout::from_size_align(self.size, 16).expect("stack layout");
+        // SAFETY: `base` came from `alloc` with this exact layout and
+        // is freed exactly once (Drop consumes the owner).
         unsafe { dealloc(self.base, layout) };
     }
 }
@@ -152,6 +161,8 @@ mod tests {
     #[test]
     fn canary_detects_scribble() {
         let s = Stack::new(8192);
+        // SAFETY: top - size is the base of the live allocation; we
+        // deliberately scribble the first canary word.
         unsafe {
             (s.top().sub(s.size()) as *mut u64).write(0);
         }

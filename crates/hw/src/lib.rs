@@ -14,6 +14,9 @@
 //!   breakdown).
 //! * [`jitter`] — lognormal latency noise.
 //! * [`power`] — the UMWAIT timer-core power model (§V-B).
+//! * [`uintr_spec`] — the audit-by-eye reference state machine the
+//!   `lp-check` model checker and the `uintr_spec` property test hold
+//!   [`uintr`] to.
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod cpu;
 pub mod jitter;
 pub mod power;
 pub mod uintr;
+pub mod uintr_spec;
 
 pub use cost::HwCosts;
 pub use cpu::{CoreClock, CoreId, TimeClass, Tsc};

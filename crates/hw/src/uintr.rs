@@ -177,7 +177,7 @@ impl Uitt {
 /// // The receiver acknowledges and drains the pending vector bitmap.
 /// assert_eq!(dom.acknowledge(receiver).unwrap(), 1 << 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct UintrDomain {
     upids: Vec<Option<Upid>>,
 }

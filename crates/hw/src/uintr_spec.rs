@@ -1,0 +1,105 @@
+//! Reference ("spec") state machine for the UPID posting protocol.
+//!
+//! A deliberately minimal transcription of the SDM's posting pseudocode
+//! for **one** receiver descriptor: three fields (`ON`, `SN`, `PUIR`)
+//! and three transitions (post, drain, suppress-toggle). It exists to
+//! be an *oracle*: both the exhaustive interleaving checker in
+//! `lp-check` (`cargo run -p lp-check -- model`) and the property test
+//! in `crates/hw/tests/uintr_spec.rs` replay every operation against
+//! [`UintrDomain`](crate::uintr::UintrDomain) *and* this spec and
+//! assert the two never disagree — outcome by outcome, bit by bit.
+//!
+//! Keep this module boring. It must stay simple enough to audit by eye
+//! against §II-B / the SDM; any cleverness belongs in the real model in
+//! [`uintr`](crate::uintr), where the checkers will catch a divergence.
+
+use crate::uintr::{ReceiverState, SendOutcome, UINTR_VECTORS};
+
+/// The spec's view of one receiver descriptor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecUpid {
+    /// `ON` — a notification is outstanding (posted, not yet drained).
+    pub on: bool,
+    /// `SN` — notifications suppressed; posts are recorded silently.
+    pub sn: bool,
+    /// `PUIR` — pending user-interrupt request bitmap.
+    pub pir: u64,
+}
+
+impl SpecUpid {
+    /// A freshly registered descriptor: all clear.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The posting half of `SENDUIPI`, straight from the pseudocode:
+    ///
+    /// ```text
+    /// PUIR[vector] := 1
+    /// if SN = 1:            record only            -> Suppressed
+    /// else if ON = 1:       already notified       -> Coalesced
+    /// else: ON := 1; notify per receiver state     -> Notified*/Pended
+    /// ```
+    pub fn send(&mut self, vector: u8, receiver: ReceiverState) -> SendOutcome {
+        assert!(vector < UINTR_VECTORS, "vector out of range");
+        self.pir |= 1u64 << vector;
+        if self.sn {
+            return SendOutcome::Suppressed;
+        }
+        if self.on {
+            return SendOutcome::Coalesced;
+        }
+        self.on = true;
+        match receiver {
+            ReceiverState::RunningUifSet => SendOutcome::NotifiedRunning,
+            ReceiverState::RunningUifClear => SendOutcome::PendedMasked,
+            ReceiverState::Blocked => SendOutcome::NotifiedBlocked,
+        }
+    }
+
+    /// Receiver-side drain: clears `ON`, returns-and-clears `PUIR`.
+    pub fn acknowledge(&mut self) -> u64 {
+        self.on = false;
+        std::mem::take(&mut self.pir)
+    }
+
+    /// Kernel toggle of `SN` (descheduled receivers are suppressed).
+    pub fn set_suppress(&mut self, on: bool) {
+        self.sn = on;
+    }
+
+    /// Protocol safety invariant: `ON` is only ever set while at least
+    /// one vector is recorded in `PUIR` (a notification with an empty
+    /// bitmap would be a phantom interrupt).
+    pub fn on_implies_pending(&self) -> bool {
+        !self.on || self.pir != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_posting_matrix() {
+        let mut s = SpecUpid::new();
+        assert_eq!(
+            s.send(3, ReceiverState::RunningUifSet),
+            SendOutcome::NotifiedRunning
+        );
+        assert!(s.on && s.pir == 1 << 3);
+        assert_eq!(
+            s.send(4, ReceiverState::RunningUifSet),
+            SendOutcome::Coalesced
+        );
+        assert_eq!(s.acknowledge(), (1 << 3) | (1 << 4));
+        assert!(!s.on && s.pir == 0);
+        s.set_suppress(true);
+        assert_eq!(
+            s.send(0, ReceiverState::RunningUifSet),
+            SendOutcome::Suppressed
+        );
+        assert!(!s.on, "suppressed posts never set ON");
+        assert!(s.on_implies_pending());
+    }
+}

@@ -5,14 +5,18 @@
 //! *total* and therefore the whole simulation deterministic: two events
 //! scheduled for the same instant fire in scheduling order.
 //!
-//! Cancellation is O(1) via tombstones: [`EventQueue::cancel`] records the
-//! event id in a hash set and [`EventQueue::pop`] skips dead entries. This
-//! is the pattern needed by re-armed deadlines (LibUtimer re-arms a
-//! thread's preemption deadline every time the scheduler grants a new
-//! quantum, invalidating the previously scheduled expiry).
+//! Cancellation is cheap via tombstones: [`EventQueue::cancel`] records
+//! the event id in an ordered set and [`EventQueue::pop`] skips dead
+//! entries. This is the pattern needed by re-armed deadlines (LibUtimer
+//! re-arms a thread's preemption deadline every time the scheduler
+//! grants a new quantum, invalidating the previously scheduled expiry).
+//! The tombstone set is a `BTreeSet`, not a hash set: randomized
+//! hashing is a nondeterminism source the `lp-check` `nondet` lint
+//! bans from sim-path crates, and id lookups here are O(log n) on a
+//! set that is almost always tiny.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::SimTime;
 
@@ -65,7 +69,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     next_seq: u64,
 }
 
@@ -80,7 +84,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
         }
     }

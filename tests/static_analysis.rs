@@ -1,0 +1,68 @@
+//! Tier-1 gate for the `lp-check` static-analysis subsystem.
+//!
+//! Two properties must hold on every commit:
+//!
+//! 1. **The workspace lints clean.** `lp-check lint` finds zero
+//!    unsuppressed violations of the determinism / observability /
+//!    unsafe-hygiene rules catalogued in `docs/CHECKS.md`.
+//! 2. **The UINTR protocol model-checks.** Exhaustively exploring every
+//!    interleaving of the bundled 2-sender/1-receiver scenarios (≥1,000
+//!    schedules) upholds all protocol invariants.
+//!
+//! Running these as a `cargo test` target (not only as a CI job) means
+//! `cargo test` locally reproduces exactly what CI enforces.
+
+use std::path::Path;
+
+use lp_check::lint::lint_workspace;
+use lp_check::model::{check_default, Mode};
+
+/// The workspace root is the directory containing this test's manifest.
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = lint_workspace(root()).expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "lp-check lint found {} violation(s):\n{}",
+        report.violation_count(),
+        report.human()
+    );
+}
+
+#[test]
+fn uintr_protocol_model_checks() {
+    let report = check_default(Mode::Full);
+    assert!(
+        report.total_schedules() >= 1000,
+        "only {} schedules explored — scenario suite shrank below the \
+         1,000-schedule floor",
+        report.total_schedules()
+    );
+    assert!(
+        report.holds(),
+        "UINTR protocol invariant violated:\n{}",
+        report.human()
+    );
+}
+
+#[test]
+fn partial_order_reduction_agrees_with_full_exploration() {
+    let full = check_default(Mode::Full);
+    let por = check_default(Mode::Por);
+    assert!(full.holds() && por.holds());
+    assert!(
+        por.total_schedules() < full.total_schedules(),
+        "PoR explored {} schedules vs {} full — reduction not reducing",
+        por.total_schedules(),
+        full.total_schedules()
+    );
+}
