@@ -414,8 +414,11 @@ pub fn run_shinjuku(cfg: ShinjukuConfig, spec: WorkloadSpec) -> RunReport {
     };
     let duration = spec.duration;
     let offered = spec.arrivals.peak_rate();
+    // Arrival-rate hint: ~100 us of peak arrivals in flight plus
+    // per-worker bookkeeping events (see lp_sim::EventQueue docs).
+    let queue_hint = 64 + (offered * 1e-4) as usize;
     let model = ShinjukuSystem::new(cfg, spec);
-    let mut sim = Simulation::new(model);
+    let mut sim = Simulation::with_capacity(model, queue_hint);
     sim.schedule_at(SimTime::ZERO, Ev::Arrival);
     sim.run_until(SimTime::ZERO + duration);
     let m = sim.into_model();

@@ -31,6 +31,50 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(n)
         })
     });
+    // The LibUtimer arming pattern: every task start arms a preemption
+    // deadline, most tasks complete before it fires, so the hot loop is
+    // push → cancel → re-arm. With tombstones this left a dead entry in
+    // the heap per iteration; generation-tagged slots make cancel O(1)
+    // and keep the heap at O(live).
+    g.bench_function("arm_cancel_rearm_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(64);
+            let mut r = lp_sim::rng::rng(5, 0);
+            // Background events keep the heap non-trivial.
+            for i in 0..32u64 {
+                q.push(SimTime::from_nanos(1_000_000_000 + i), i);
+            }
+            let mut now = 0u64;
+            let mut armed = q.push(SimTime::from_nanos(now + 100), u64::MAX);
+            for _ in 0..10_000 {
+                q.cancel(armed);
+                now += r.gen_range(1..100);
+                armed = q.push(SimTime::from_nanos(now + 100), u64::MAX);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    // Cancel-after-fire: the deadline already popped; the completion
+    // path still calls cancel on the stale id. Must be an O(1) no-op
+    // and must not grow any internal state (regression-tested in
+    // lp-sim; measured here).
+    g.bench_function("fire_then_cancel_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(8);
+            q.push(SimTime::from_nanos(u64::MAX), 0u64);
+            for i in 0..10_000u64 {
+                let id = q.push(SimTime::from_nanos(i), 1);
+                let fired = q.pop().expect("armed deadline");
+                black_box(fired);
+                q.cancel(id); // stale: the event already fired
+            }
+            black_box(q.live_len())
+        })
+    });
     g.finish();
 }
 

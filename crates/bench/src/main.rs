@@ -1,0 +1,153 @@
+//! `lp-bench` — the perf-regression harness.
+//!
+//! Measures the numbers that bound how big a paper-scale run can be and
+//! how much the parallel runner buys:
+//!
+//! * event-queue push/pop throughput (engine events/second);
+//! * the cancellation-heavy LibUtimer pattern (push → cancel → re-arm);
+//! * wall-clock for the quick-scale `all` artifact list, serial
+//!   (`LP_JOBS=1`) vs. parallel, plus the speedup — and a byte-identity
+//!   check that both runs produced the same tables and CSVs.
+//!
+//! `lp-bench --json` additionally writes `BENCH_results.json` (schema
+//! documented in `docs/PERFORMANCE.md`) for CI artifact upload and
+//! regression tracking. Exits non-zero if the serial and parallel
+//! outputs differ.
+//!
+//! Wall-clock timing is inherently nondeterministic; this binary is the
+//! one place that reads the host clock, covered by the lint's static
+//! allowlist (see `docs/CHECKS.md`).
+
+use std::time::Instant;
+
+use lp_experiments::runner::{self, ArtifactOutput};
+use lp_experiments::{Scale, DEFAULT_SEED};
+use lp_sim::{EventQueue, SimTime};
+
+/// Events per measured iteration of the queue microbenchmarks.
+const EVENTS: u64 = 10_000;
+/// Timed iterations (after warmup).
+const ITERS: u32 = 20;
+/// Warmup iterations, excluded from the measurement.
+const WARMUP: u32 = 3;
+
+/// Deterministic pseudo-random event time in `[0, 1ms)` — keeps the
+/// heap order non-trivial without pulling an RNG into the binary.
+fn scatter(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_000
+}
+
+/// Push/pop throughput of the event queue, in events per second
+/// (counting each pushed-then-popped event once).
+fn push_pop_events_per_sec() -> f64 {
+    let mut total = 0.0f64;
+    for it in 0..WARMUP + ITERS {
+        let mut q = EventQueue::with_capacity(EVENTS as usize);
+        let start = Instant::now();
+        for i in 0..EVENTS {
+            q.push(SimTime::from_nanos(scatter(i)), i);
+        }
+        let mut n = 0u64;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, EVENTS);
+        if it >= WARMUP {
+            total += start.elapsed().as_secs_f64();
+        }
+    }
+    (EVENTS * ITERS as u64) as f64 / total
+}
+
+/// The LibUtimer arming pattern: push a deadline, cancel it, re-arm.
+/// Reported as re-arm cycles per second.
+fn arm_cancel_rearm_per_sec() -> f64 {
+    let mut total = 0.0f64;
+    for it in 0..WARMUP + ITERS {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..32u64 {
+            q.push(SimTime::from_nanos(1_000_000_000 + i), i);
+        }
+        let mut now = 0u64;
+        let start = Instant::now();
+        let mut armed = q.push(SimTime::from_nanos(now + 100), u64::MAX);
+        for i in 0..EVENTS {
+            q.cancel(armed);
+            now += 1 + scatter(i) % 99;
+            armed = q.push(SimTime::from_nanos(now + 100), u64::MAX);
+        }
+        while q.pop().is_some() {}
+        if it >= WARMUP {
+            total += start.elapsed().as_secs_f64();
+        }
+    }
+    (EVENTS * ITERS as u64) as f64 / total
+}
+
+/// Runs the quick-scale artifact list once, returning the outputs and
+/// the wall-clock seconds.
+fn timed_all(jobs: usize) -> (Vec<(&'static str, ArtifactOutput)>, f64) {
+    let start = Instant::now();
+    let out = runner::with_jobs(jobs, || {
+        runner::run_artifacts(&runner::all_artifacts(), Scale::Quick, DEFAULT_SEED)
+    });
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Byte-compares two artifact runs: names, rendered tables, and CSVs.
+fn outputs_identical(
+    a: &[(&'static str, ArtifactOutput)],
+    b: &[(&'static str, ArtifactOutput)],
+) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|((na, oa), (nb, ob))| {
+            na == nb
+                && oa.csvs == ob.csvs
+                && oa.tables.len() == ob.tables.len()
+                && oa
+                    .tables
+                    .iter()
+                    .zip(&ob.tables)
+                    .all(|(ta, tb)| ta.render() == tb.render())
+        })
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    eprintln!("lp-bench: event queue (push/pop) ...");
+    let push_pop = push_pop_events_per_sec();
+    eprintln!("lp-bench: event queue (arm/cancel/re-arm) ...");
+    let rearm = arm_cancel_rearm_per_sec();
+
+    let jobs = runner::jobs();
+    eprintln!("lp-bench: quick-scale all, serial ...");
+    let (serial_out, serial_secs) = timed_all(1);
+    eprintln!("lp-bench: quick-scale all, {jobs} job(s) ...");
+    let (par_out, par_secs) = timed_all(jobs);
+    let identical = outputs_identical(&serial_out, &par_out);
+    let speedup = serial_secs / par_secs;
+
+    println!("engine.push_pop:        {:>12.0} events/s", push_pop);
+    println!("engine.arm_cancel_rearm:{:>12.0} cycles/s", rearm);
+    println!("all(quick).serial:      {serial_secs:>12.2} s");
+    println!("all(quick).parallel:    {par_secs:>12.2} s  (LP_JOBS={jobs})");
+    println!("all(quick).speedup:     {speedup:>12.2} x");
+    println!(
+        "all(quick).outputs:     {}",
+        if identical { "identical" } else { "DIFFER" }
+    );
+
+    if json {
+        let body = format!(
+            "{{\n  \"schema\": \"lp-bench/1\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n"
+        );
+        std::fs::write("BENCH_results.json", body).expect("write BENCH_results.json");
+        eprintln!("lp-bench: wrote BENCH_results.json");
+    }
+
+    if !identical {
+        eprintln!("lp-bench: serial and parallel outputs differ — determinism regression");
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{
-    RuleId, NONDET_EXEMPT_CRATES, NONDET_TOKENS, OBS_PAIRED_CRATES, UNSAFE_ALLOWED_CRATE,
+    nondet_file_allowance, RuleId, NONDET_EXEMPT_CRATES, NONDET_TOKENS, OBS_PAIRED_CRATES,
+    UNSAFE_ALLOWED_CRATE,
 };
 
 /// One finding, pinned to a file and line.
@@ -516,8 +517,10 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
     let krate = crate_of(rel).unwrap_or("");
     let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
 
-    let mut push = |rule: RuleId, line: usize, message: String| {
-        let suppressed = allows.covers(rule, line);
+    // `forced` marks a diagnostic suppressed regardless of inline
+    // `lp-check: allow` comments — used by the static nondet allowlist.
+    let mut push = |rule: RuleId, line: usize, message: String, forced: bool| {
+        let suppressed = forced || allows.covers(rule, line);
         report.diagnostics.push(Diagnostic {
             rule,
             file: rel.to_string(),
@@ -528,7 +531,7 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
     };
 
     for (line, msg) in &allows.bad {
-        push(RuleId::BadAllow, *line, msg.clone());
+        push(RuleId::BadAllow, *line, msg.clone(), false);
     }
 
     // Pass 1: per-line token rules.
@@ -538,10 +541,23 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
         if !NONDET_EXEMPT_CRATES.contains(&krate) {
             for token in NONDET_TOKENS {
                 if contains_token(code, token) {
+                    // The static per-file allowance (rules.rs): the hit
+                    // is still reported — as suppressed — so the audit
+                    // trail survives, but it does not fail the build.
+                    if let Some(why) = nondet_file_allowance(rel, token) {
+                        push(
+                            RuleId::Nondet,
+                            line,
+                            format!("nondeterminism source `{token}` (static allowlist: {why})"),
+                            true,
+                        );
+                        continue;
+                    }
                     push(
                         RuleId::Nondet,
                         line,
                         format!("nondeterminism source `{token}` in sim-path crate `{krate}`"),
+                        false,
                     );
                 }
             }
@@ -554,6 +570,7 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
                         RuleId::NoPrint,
                         line,
                         format!("`{mac}` in library code — report through the Observer instead"),
+                        false,
                     );
                 }
             }
@@ -565,6 +582,7 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
                     RuleId::UnsafeScope,
                     line,
                     format!("`unsafe` outside `{UNSAFE_ALLOWED_CRATE}` (crate `{krate}`)"),
+                    false,
                 );
             }
             if unsafe_needs_safety_comment(&stripped.code, idx)
@@ -574,6 +592,7 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
                     RuleId::SafetyComment,
                     line,
                     "`unsafe` block without a `// SAFETY:` comment on or above it".to_string(),
+                    false,
                 );
             }
         }
@@ -590,6 +609,7 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
                             "`Event::{variant}` (wire name `{snake}`) is not in the \
                              docs/TRACING.md vocabulary — document it before emitting it"
                         ),
+                        false,
                     );
                 }
             }
@@ -610,6 +630,7 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
                             "`fn {name}` has no plain `fn {base}` twin in this file — \
                              the observed wrapper must delegate to an unobserved mutator"
                         ),
+                        false,
                     );
                 }
             }
@@ -770,6 +791,40 @@ mod tests {
         assert!(allows.covers(RuleId::Nondet, 2));
         assert!(!allows.covers(RuleId::NoPrint, 2));
         assert_eq!(allows.bad.len(), 2, "missing reason + unknown rule: {:?}", allows.bad);
+    }
+
+    #[test]
+    fn nondet_static_allowlist_suppresses_only_listed_pairs() {
+        let vocab = BTreeSet::new();
+        // The allowlisted (file, token) pair: reported, but suppressed.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/par.rs",
+            "std::thread::scope(|s| { let _ = s; });\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 0, "{}", r.human());
+        assert_eq!(r.suppressed_count(), 1);
+        assert!(r.diagnostics[0].message.contains("static allowlist"));
+        // The same token in any other file still fails.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/engine.rs",
+            "std::thread::scope(|s| { let _ = s; });\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 1);
+        // A different banned token in an allowlisted file still fails.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/par.rs",
+            "let t = std::time::Instant::now();\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 1);
     }
 
     #[test]

@@ -1,80 +1,21 @@
 //! Runs every experiment in paper order.
+//!
+//! The artifact list itself executes serially (stdout follows the
+//! paper); each artifact fans its point grid out across `LP_JOBS`
+//! worker threads through `lp_experiments::runner`, with output
+//! byte-identical to a serial run.
 use lp_experiments::common::save_csv;
-use lp_experiments::{common::Scale, *};
+use lp_experiments::{common::Scale, runner, DEFAULT_SEED};
+
 fn main() {
     let scale = Scale::from_env(Scale::Full);
     let seed = DEFAULT_SEED;
-    let t1 = table1::run();
-    save_csv("table1.csv", &t1.to_csv());
-    println!("{}", t1.render());
-    {
-        let (tl, tr) = fig1::tables(&fig1::run_left(scale), &fig1::run_right(scale));
-        save_csv("fig1_left.csv", &tl.to_csv());
-        save_csv("fig1_right.csv", &tr.to_csv());
-        println!("{}", tl.render());
-        println!("{}", tr.render());
+    for (_name, out) in runner::run_artifacts(&runner::all_artifacts(), scale, seed) {
+        for (file, csv) in &out.csvs {
+            save_csv(file, csv);
+        }
+        for t in &out.tables {
+            println!("{}", t.render());
+        }
     }
-    {
-        let t = fig2::table(&fig2::run_fig2(scale, seed));
-        save_csv("fig2.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let pts = fig8::run_fig8(scale, seed);
-        let t = fig8::sweep_table(&pts);
-        save_csv("fig8_sweep.csv", &t.to_csv());
-        println!("{}", t.render());
-        let rows = fig8::run_max_throughput(scale, seed);
-        let t = fig8::max_table(&rows);
-        save_csv("fig8_max.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let rows = fig9::run_fig9(scale, seed);
-        let t = fig9::table(&rows);
-        save_csv("fig9.csv", &t.to_csv());
-        println!("{}", t.render());
-        let trace = fig9::quantum_trace(&rows);
-        save_csv("fig9_trace.csv", &trace.to_csv());
-        println!("{}", trace.render());
-    }
-    {
-        let t = fig10::table(&fig10::run_fig10(scale, seed));
-        save_csv("fig10.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let t = table4::table(&table4::run(scale));
-        save_csv("table4.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let t = fig11::table(&fig11::run_fig11(scale, seed));
-        save_csv("fig11.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let t = fig12::table(&fig12::run_fig12(scale, seed));
-        save_csv("fig12.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let left = fig13::run_left(scale, seed);
-        let t = fig13::table(&left, "Fig 13 (left): fixed 30us quantum vs load");
-        save_csv("fig13_left.csv", &t.to_csv());
-        println!("{}", t.render());
-        let right = fig13::run_right(scale, seed);
-        let t = fig13::table(&right, "Fig 13 (right): quantum sweep at 55 kRPS");
-        save_csv("fig13_right.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    {
-        let t = fig14::table(&fig14::run_fig14(scale, seed));
-        save_csv("fig14.csv", &t.to_csv());
-        println!("{}", t.render());
-    }
-    println!("{}", ext::power_table().render());
-    println!("{}", ext::security_table().render());
-    println!("{}", ext::min_quantum_table(&ext::run_min_quantum(scale, seed)).render());
-    println!("{}", ext::hw_offload_table(scale, seed).render());
 }

@@ -259,10 +259,19 @@ pub fn max_throughput(
     utils: &[f64],
     mut run_at: impl FnMut(f64) -> RunReport,
 ) -> f64 {
+    let reports: Vec<RunReport> = utils.iter().map(|&u| run_at(u * capacity_rps)).collect();
+    max_throughput_from_reports(baseline_avg_us, &reports)
+}
+
+/// The reduction half of [`max_throughput`], over already-measured
+/// reports (in ascending-utilization order). Split out so the parallel
+/// runner can fan the measurements out first and reduce afterwards —
+/// the criterion itself is pure arithmetic, so the result is identical
+/// either way.
+pub fn max_throughput_from_reports(baseline_avg_us: f64, reports: &[RunReport]) -> f64 {
     let bound_us = 200.0 * baseline_avg_us;
     let mut best = 0.0f64;
-    for &u in utils {
-        let r = run_at(u * capacity_rps);
+    for r in reports {
         if r.p99_us() <= bound_us {
             best = best.max(r.throughput_rps());
         }

@@ -15,6 +15,7 @@ use libpreemptible::policy::{FcfsPreempt, NonPreemptive, Policy};
 use libpreemptible::runtime::{run, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::Scale;
+use crate::runner;
 
 /// One measured cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,56 +52,58 @@ pub fn run_fig10(scale: Scale, seed: u64) -> Vec<RpcPoint> {
         Scale::Quick => &[1, 8],
         Scale::Full => &[1, 2, 4, 8],
     };
-    let mut out = Vec::new();
-    for &tn in tns {
-        for &rho in rhos {
-            let rate = dist.rate_for_utilization(rho, workers);
-            let duration = scale.point_duration();
-            let mk_spec = || WorkloadSpec {
-                source: ServiceSource::Phased(PhasedService::constant(dist.clone())),
-                arrivals: RateSchedule::Constant(rate),
-                duration,
-                warmup: scale.warmup(),
-            };
-            // T_n bounds how many in-flight user-level threads each
-            // kernel thread multiplexes: the context pool holds
-            // workers * tn contexts.
-            let mk_cfg = |mech: PreemptMech| RuntimeConfig {
-                workers,
-                mech,
-                pool_capacity: workers * tn * 8,
-                seed,
-                ..RuntimeConfig::default()
-            };
-            let base = run(
-                mk_cfg(PreemptMech::None),
-                Box::new(NonPreemptive) as Box<dyn Policy>,
-                mk_spec(),
-            );
-            // The server "uses no preemption by default": the library
-            // is armed with a generous quantum so handlers virtually
-            // never get preempted — the cost measured is carrying the
-            // mechanism (deadline arming + timer core).
-            // 500 us quantum: P(exp(20us) > 500us) ~ e^-25, so handlers
-            // are essentially never preempted and the measurement
-            // isolates the cost of *carrying* the mechanism (deadline
-            // arming + timer core), as in the paper's setup.
-            let lp = run(
-                mk_cfg(PreemptMech::Uintr),
-                Box::new(FcfsPreempt::fixed(SimDur::micros(500))) as Box<dyn Policy>,
-                mk_spec(),
-            );
-            let overhead = (lp.p99_us() - base.p99_us()) / base.p99_us();
-            out.push(RpcPoint {
-                tn,
-                rho,
-                base_p99_us: base.p99_us(),
-                lp_p99_us: lp.p99_us(),
-                overhead,
-            });
+    let cells: Vec<(usize, f64)> = tns
+        .iter()
+        .flat_map(|&tn| rhos.iter().map(move |&rho| (tn, rho)))
+        .collect();
+    // Each cell is a self-contained baseline + LibPreemptible pair;
+    // cells fan out through the parallel runner in grid order.
+    runner::map_points("fig10", &cells, |_, &(tn, rho)| {
+        let rate = dist.rate_for_utilization(rho, workers);
+        let duration = scale.point_duration();
+        let mk_spec = || WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(dist.clone())),
+            arrivals: RateSchedule::Constant(rate),
+            duration,
+            warmup: scale.warmup(),
+        };
+        // T_n bounds how many in-flight user-level threads each
+        // kernel thread multiplexes: the context pool holds
+        // workers * tn contexts.
+        let mk_cfg = |mech: PreemptMech| RuntimeConfig {
+            workers,
+            mech,
+            pool_capacity: workers * tn * 8,
+            seed,
+            ..RuntimeConfig::default()
+        };
+        let base = run(
+            mk_cfg(PreemptMech::None),
+            Box::new(NonPreemptive) as Box<dyn Policy>,
+            mk_spec(),
+        );
+        // The server "uses no preemption by default": the library
+        // is armed with a generous quantum so handlers virtually
+        // never get preempted — the cost measured is carrying the
+        // mechanism (deadline arming + timer core).
+        // 500 us quantum: P(exp(20us) > 500us) ~ e^-25, so handlers
+        // are essentially never preempted and the measurement
+        // isolates the cost of *carrying* the mechanism (deadline
+        // arming + timer core), as in the paper's setup.
+        let lp = run(
+            mk_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(500))) as Box<dyn Policy>,
+            mk_spec(),
+        );
+        let overhead = (lp.p99_us() - base.p99_us()) / base.p99_us();
+        RpcPoint {
+            tn,
+            rho,
+            base_p99_us: base.p99_us(),
+            lp_p99_us: lp.p99_us(),
+            overhead,
         }
-    }
-    out
+    })
 }
 
 /// Renders the grid.

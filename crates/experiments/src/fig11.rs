@@ -7,6 +7,7 @@ use lp_stats::Table;
 use lp_baselines::ktimer::{measure, TimerStrategy};
 
 use crate::common::Scale;
+use crate::runner;
 
 /// One cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,19 +31,19 @@ pub fn run_fig11(scale: Scale, seed: u64) -> Vec<TimerCell> {
         Scale::Quick => 100,
         Scale::Full => 1_000,
     };
-    let mut out = Vec::new();
-    for strategy in TimerStrategy::ALL {
-        for &threads in &THREADS {
-            let o = measure(strategy, threads, rounds, SimDur::micros(100), seed);
-            out.push(TimerCell {
-                strategy: strategy.name(),
-                threads,
-                mean_us: o.mean_us,
-                max_us: o.max_us,
-            });
+    let cells: Vec<(TimerStrategy, usize)> = TimerStrategy::ALL
+        .into_iter()
+        .flat_map(|s| THREADS.into_iter().map(move |t| (s, t)))
+        .collect();
+    runner::map_points("fig11", &cells, |_, &(strategy, threads)| {
+        let o = measure(strategy, threads, rounds, SimDur::micros(100), seed);
+        TimerCell {
+            strategy: strategy.name(),
+            threads,
+            mean_us: o.mean_us,
+            max_us: o.max_us,
         }
-    }
-    out
+    })
 }
 
 /// Renders the grid, one row per (strategy, threads).

@@ -13,6 +13,7 @@ use lp_stats::Table;
 use lp_hw::HwCosts;
 
 use crate::common::Scale;
+use crate::runner;
 
 /// Summary of one timer × target cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,16 +90,19 @@ pub fn run_fig12(scale: Scale, seed: u64) -> Vec<PrecisionRow> {
         Scale::Quick => 1_000,
         Scale::Full => 5_000,
     };
-    let mut rows = Vec::new();
-    for target in [SimDur::micros(100), SimDur::micros(20)] {
-        rows.push(summarize(
-            "kernel timer",
-            target,
-            &kernel_gaps(target, n, seed),
-        ));
-        rows.push(summarize("LibUtimer", target, &utimer_gaps(target, n, seed)));
-    }
-    rows
+    // Each (target, timer) cell samples its own independent RNG
+    // substream, so the four cells fan out through the parallel runner.
+    let cells: Vec<(SimDur, bool)> = [SimDur::micros(100), SimDur::micros(20)]
+        .into_iter()
+        .flat_map(|target| [(target, false), (target, true)])
+        .collect();
+    runner::map_points("fig12", &cells, |_, &(target, is_utimer)| {
+        if is_utimer {
+            summarize("LibUtimer", target, &utimer_gaps(target, n, seed))
+        } else {
+            summarize("kernel timer", target, &kernel_gaps(target, n, seed))
+        }
+    })
 }
 
 /// Renders the summary.

@@ -16,6 +16,7 @@ use libpreemptible::policy::{ClassQuantum, FcfsPreempt, NonPreemptive, Policy};
 use libpreemptible::runtime::{run, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::Scale;
+use crate::runner;
 
 /// One measured colocation point.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,26 +76,34 @@ pub fn run_left(scale: Scale, seed: u64) -> Vec<ColocPoint> {
         Scale::Quick => &[25.0, 55.0],
         Scale::Full => &[15.0, 25.0, 35.0, 45.0, 55.0],
     };
-    let mut out = Vec::new();
-    for &k in loads_krps {
-        out.push(run_point(
-            Box::new(FcfsPreempt::fixed(SimDur::micros(30))),
-            "LC-Lib (q=30us)".into(),
-            PreemptMech::Uintr,
-            k * 1_000.0,
-            scale,
-            seed,
-        ));
-        out.push(run_point(
-            Box::new(NonPreemptive),
-            "LC-Base (no preemption)".into(),
-            PreemptMech::None,
-            k * 1_000.0,
-            scale,
-            seed,
-        ));
-    }
-    out
+    // Per load: the preemptive run then the non-preemptive baseline.
+    // Policies are built inside the closure (trait objects are not
+    // shareable across the pool); points fan out in submission order.
+    let points: Vec<(f64, bool)> = loads_krps
+        .iter()
+        .flat_map(|&k| [(k, true), (k, false)])
+        .collect();
+    runner::map_points("fig13-left", &points, |_, &(k, preemptive)| {
+        if preemptive {
+            run_point(
+                Box::new(FcfsPreempt::fixed(SimDur::micros(30))),
+                "LC-Lib (q=30us)".into(),
+                PreemptMech::Uintr,
+                k * 1_000.0,
+                scale,
+                seed,
+            )
+        } else {
+            run_point(
+                Box::new(NonPreemptive),
+                "LC-Base (no preemption)".into(),
+                PreemptMech::None,
+                k * 1_000.0,
+                scale,
+                seed,
+            )
+        }
+    })
 }
 
 /// Fig. 13 (right): quantum sweep at 55 kRPS.
@@ -103,16 +112,21 @@ pub fn run_right(scale: Scale, seed: u64) -> Vec<ColocPoint> {
         Scale::Quick => &[5, 30],
         Scale::Full => &[5, 10, 20, 30, 50],
     };
-    let mut out = vec![run_point(
-        Box::new(NonPreemptive),
-        "no preemption".into(),
-        PreemptMech::None,
-        55_000.0,
-        scale,
-        seed,
-    )];
-    for &q in quanta_us {
-        out.push(run_point(
+    // `None` = the non-preemptive baseline (first row), `Some(q)` = the
+    // quantum sweep; the whole panel fans out as one batch.
+    let points: Vec<Option<u64>> = std::iter::once(None)
+        .chain(quanta_us.iter().map(|&q| Some(q)))
+        .collect();
+    runner::map_points("fig13-right", &points, |_, &q| match q {
+        None => run_point(
+            Box::new(NonPreemptive),
+            "no preemption".into(),
+            PreemptMech::None,
+            55_000.0,
+            scale,
+            seed,
+        ),
+        Some(q) => run_point(
             Box::new(ClassQuantum {
                 lc_quantum: SimDur::MAX, // LC requests are ~1us; never preempted
                 be_quantum: SimDur::micros(q),
@@ -122,9 +136,8 @@ pub fn run_right(scale: Scale, seed: u64) -> Vec<ColocPoint> {
             55_000.0,
             scale,
             seed,
-        ));
-    }
-    out
+        ),
+    })
 }
 
 /// Renders a panel.

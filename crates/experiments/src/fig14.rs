@@ -15,6 +15,7 @@ use libpreemptible::report::RunReport;
 use libpreemptible::runtime::{run, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::Scale;
+use crate::runner;
 
 /// Summary of one policy under the bursty trace.
 #[derive(Debug)]
@@ -74,23 +75,25 @@ pub fn run_fig14(scale: Scale, seed: u64) -> Vec<Fig14Row> {
         ..RuntimeConfig::default()
     };
 
-    let adaptive = {
-        let mut cfg = AdaptiveConfig::paper_defaults(110_000.0);
-        cfg.period = control_period;
-        cfg.t_min = SimDur::micros(10);
-        cfg.t_max = SimDur::micros(50);
-        cfg.k1 = SimDur::micros(10);
-        cfg.k2 = SimDur::micros(10);
-        cfg.k3 = SimDur::micros(10);
-        FcfsPreempt::adaptive(QuantumController::new(cfg, SimDur::micros(50)))
-    };
-
-    let mut rows = Vec::new();
-    for (label, policy) in [
-        ("constant 50us".to_string(), FcfsPreempt::fixed(SimDur::micros(50))),
-        ("constant 10us".to_string(), FcfsPreempt::fixed(SimDur::micros(10))),
-        ("adaptive [10,50]us".to_string(), adaptive),
-    ] {
+    // Three independent policy runs; controllers are stateful, so each
+    // point constructs its own inside the closure and the trio fans out
+    // through the parallel runner.
+    let labels: [&'static str; 3] = ["constant 50us", "constant 10us", "adaptive [10,50]us"];
+    runner::map_points("fig14", &labels, |id, &label| {
+        let policy = match id.index {
+            0 => FcfsPreempt::fixed(SimDur::micros(50)),
+            1 => FcfsPreempt::fixed(SimDur::micros(10)),
+            _ => {
+                let mut cfg = AdaptiveConfig::paper_defaults(110_000.0);
+                cfg.period = control_period;
+                cfg.t_min = SimDur::micros(10);
+                cfg.t_max = SimDur::micros(50);
+                cfg.k1 = SimDur::micros(10);
+                cfg.k2 = SimDur::micros(10);
+                cfg.k3 = SimDur::micros(10);
+                FcfsPreempt::adaptive(QuantumController::new(cfg, SimDur::micros(50)))
+            }
+        };
         let r = run(mk_cfg(), Box::new(policy), mk_spec());
         // Split frames into spike/base windows by the schedule.
         let in_spike = |start_ns: u64| {
@@ -118,15 +121,14 @@ pub fn run_fig14(scale: Scale, seed: u64) -> Vec<Fig14Row> {
                 }
             }
         }
-        rows.push(Fig14Row {
-            policy: label,
+        Fig14Row {
+            policy: label.to_string(),
             lc_mean_us: lc_sum / lc_n.max(1) as f64,
             lc_spike_mean_us: lc_spike_sum / lc_spike_n.max(1) as f64,
             be_low_mean_us: be_low_sum / be_low_n.max(1) as f64,
             report: r,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Renders the summary.

@@ -14,6 +14,7 @@ use libpreemptible::policy::{FcfsPreempt, NonPreemptive, Policy};
 use libpreemptible::runtime::{run, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::Scale;
+use crate::runner;
 
 /// One cell of the figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +33,11 @@ pub struct QuantumPoint {
 pub const QUANTA_US: [Option<u64>; 5] = [None, Some(5), Some(25), Some(100), Some(500)];
 
 /// Runs the sweep for both distributions on 16 cores at fixed load.
+///
+/// The `workload x quantum` grid points are independent seeded runs;
+/// they are submitted through the parallel [`runner`] and collected in
+/// grid order, so the result (and everything rendered from it) is
+/// byte-identical at any `LP_JOBS`.
 pub fn run_fig2(scale: Scale, seed: u64) -> Vec<QuantumPoint> {
     let workloads: [(&str, ServiceDist); 2] = [
         ("bimodal (99.5% 0.5us / 0.5% 500us)", ServiceDist::workload_a1()),
@@ -39,41 +45,41 @@ pub fn run_fig2(scale: Scale, seed: u64) -> Vec<QuantumPoint> {
     ];
     let workers = 16;
     let rho = 0.75;
-    let mut out = Vec::new();
-    for (name, dist) in workloads {
+    let points: Vec<(&'static str, ServiceDist, Option<u64>)> = workloads
+        .into_iter()
+        .flat_map(|(name, dist)| QUANTA_US.into_iter().map(move |q| (name, dist.clone(), q)))
+        .collect();
+    runner::map_points("fig2", &points, |_, (name, dist, q)| {
         let rate = dist.rate_for_utilization(rho, workers);
-        for q in QUANTA_US {
-            let duration = scale.point_duration();
-            let spec = WorkloadSpec {
-                source: ServiceSource::Phased(PhasedService::constant(dist.clone())),
-                arrivals: RateSchedule::Constant(rate),
-                duration,
-                warmup: scale.warmup(),
-            };
-            let (policy, mech): (Box<dyn Policy>, PreemptMech) = match q {
-                None => (Box::new(NonPreemptive), PreemptMech::None),
-                Some(us) => (
-                    Box::new(FcfsPreempt::fixed(SimDur::micros(us))),
-                    PreemptMech::Uintr,
-                ),
-            };
-            let cfg = RuntimeConfig {
-                workers,
-                mech,
-                seed,
-                ..RuntimeConfig::default()
-            };
-            let r = run(cfg, policy, spec);
-            debug_assert!(r.is_conserved());
-            out.push(QuantumPoint {
-                workload: name,
-                quantum_us: q,
-                p99_us: r.p99_us(),
-                median_us: r.median_us(),
-            });
+        let duration = scale.point_duration();
+        let spec = WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(dist.clone())),
+            arrivals: RateSchedule::Constant(rate),
+            duration,
+            warmup: scale.warmup(),
+        };
+        let (policy, mech): (Box<dyn Policy>, PreemptMech) = match q {
+            None => (Box::new(NonPreemptive), PreemptMech::None),
+            Some(us) => (
+                Box::new(FcfsPreempt::fixed(SimDur::micros(*us))),
+                PreemptMech::Uintr,
+            ),
+        };
+        let cfg = RuntimeConfig {
+            workers,
+            mech,
+            seed,
+            ..RuntimeConfig::default()
+        };
+        let r = run(cfg, policy, spec);
+        debug_assert!(r.is_conserved());
+        QuantumPoint {
+            workload: name,
+            quantum_us: *q,
+            p99_us: r.p99_us(),
+            median_us: r.median_us(),
         }
-    }
-    out
+    })
 }
 
 /// Renders the figure as a table.

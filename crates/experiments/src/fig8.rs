@@ -6,8 +6,9 @@
 use lp_stats::Table;
 
 use crate::common::{
-    max_throughput, run_system, PaperWorkload, Scale, SystemUnderTest,
+    max_throughput_from_reports, run_system, PaperWorkload, Scale, SystemUnderTest,
 };
+use crate::runner;
 
 /// One measured sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,25 +36,31 @@ pub fn utilization_grid(scale: Scale) -> Vec<f64> {
 }
 
 /// Runs the full Fig. 8 sweep.
+///
+/// All `workload x system x rho` points are independent seeded runs;
+/// the grid fans out through the parallel [`runner`] and comes back in
+/// grid order, byte-identical to the serial loop at any `LP_JOBS`.
 pub fn run_fig8(scale: Scale, seed: u64) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+    let mut points: Vec<(PaperWorkload, SystemUnderTest, f64)> = Vec::new();
     for wl in PaperWorkload::ALL {
         for sys in SystemUnderTest::ALL {
             for &rho in &utilization_grid(scale) {
-                let rate = wl.rate_for(rho, sys.workers());
-                let r = run_system(sys, wl, rate, scale, seed);
-                out.push(SweepPoint {
-                    system: sys.name(),
-                    workload: wl.name(),
-                    rho,
-                    throughput_rps: r.throughput_rps(),
-                    median_us: r.median_us(),
-                    p99_us: r.p99_us(),
-                });
+                points.push((wl, sys, rho));
             }
         }
     }
-    out
+    runner::map_points("fig8", &points, |_, &(wl, sys, rho)| {
+        let rate = wl.rate_for(rho, sys.workers());
+        let r = run_system(sys, wl, rate, scale, seed);
+        SweepPoint {
+            system: sys.name(),
+            workload: wl.name(),
+            rho,
+            throughput_rps: r.throughput_rps(),
+            median_us: r.median_us(),
+            p99_us: r.p99_us(),
+        }
+    })
 }
 
 /// The max-throughput summary (the right panel's saturation points).
@@ -69,27 +76,47 @@ pub struct MaxThroughputRow {
 
 /// Computes the paper's max-throughput metric for each system ×
 /// workload.
+///
+/// The measurement half — the 10%-load baseline plus the whole
+/// utilization grid for every `workload x system` pair — fans out
+/// through the parallel [`runner`] as one flat batch; the saturation
+/// criterion is then reduced serially over the collected reports, so
+/// the rows are identical to the serial walk.
 pub fn run_max_throughput(scale: Scale, seed: u64) -> Vec<MaxThroughputRow> {
     let utils = utilization_grid(scale);
-    let mut out = Vec::new();
-    for wl in PaperWorkload::ALL {
-        for sys in SystemUnderTest::ALL {
-            let capacity = wl.rate_for(1.0, sys.workers());
-            // Baseline: average latency at 10% load ("a stable
-            // system").
-            let base = run_system(sys, wl, 0.1 * capacity, scale, seed);
+    let pairs: Vec<(PaperWorkload, SystemUnderTest)> = PaperWorkload::ALL
+        .into_iter()
+        .flat_map(|wl| SystemUnderTest::ALL.into_iter().map(move |sys| (wl, sys)))
+        .collect();
+    // Per pair: the baseline rate first ("a stable system" at 10%
+    // load), then the grid, so each pair owns a contiguous chunk of
+    // `1 + utils.len()` reports.
+    let mut points: Vec<(PaperWorkload, SystemUnderTest, f64)> = Vec::new();
+    for &(wl, sys) in &pairs {
+        let capacity = wl.rate_for(1.0, sys.workers());
+        points.push((wl, sys, 0.1 * capacity));
+        for &u in &utils {
+            points.push((wl, sys, u * capacity));
+        }
+    }
+    let reports = runner::map_points("fig8-max", &points, |_, &(wl, sys, rate)| {
+        run_system(sys, wl, rate, scale, seed)
+    });
+    let chunk = 1 + utils.len();
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(wl, sys))| {
+            let base = &reports[i * chunk];
             let baseline_avg = base.mean_us().max(wl.mean_service().as_micros_f64());
-            let max = max_throughput(capacity, baseline_avg, &utils, |rate| {
-                run_system(sys, wl, rate, scale, seed)
-            });
-            out.push(MaxThroughputRow {
+            let max = max_throughput_from_reports(baseline_avg, &reports[i * chunk + 1..(i + 1) * chunk]);
+            MaxThroughputRow {
                 system: sys.name(),
                 workload: wl.name(),
                 max_rps: max,
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 /// Renders the sweep as a table.

@@ -15,6 +15,7 @@ use libpreemptible::report::RunReport;
 use libpreemptible::runtime::{run, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::{PaperWorkload, Scale};
+use crate::runner;
 
 /// Result of one policy variant.
 #[derive(Debug)]
@@ -58,32 +59,30 @@ pub fn run_fig9(scale: Scale, seed: u64) -> Vec<Fig9Row> {
         ..RuntimeConfig::default()
     };
 
-    let mut rows = Vec::new();
-    for (label, policy) in [
-        (
-            "static 5us".to_string(),
-            FcfsPreempt::fixed(SimDur::micros(5)),
-        ),
-        (
-            "static 50us".to_string(),
-            FcfsPreempt::fixed(SimDur::micros(50)),
-        ),
-        ("adaptive (Alg. 1)".to_string(), {
-            let mut cfg = AdaptiveConfig::paper_defaults(PaperWorkload::C.rate_for(1.0, workers));
-            cfg.period = control_period;
-            FcfsPreempt::adaptive(QuantumController::new(cfg, SimDur::micros(20)))
-        }),
-    ] {
+    // The three policy variants are independent runs; the controller
+    // state is not `Sync`, so each point builds its own policy inside
+    // the closure and the grid fans out through the parallel runner.
+    let labels: [&'static str; 3] = ["static 5us", "static 50us", "adaptive (Alg. 1)"];
+    runner::map_points("fig9", &labels, |id, &label| {
+        let policy = match id.index {
+            0 => FcfsPreempt::fixed(SimDur::micros(5)),
+            1 => FcfsPreempt::fixed(SimDur::micros(50)),
+            _ => {
+                let mut cfg =
+                    AdaptiveConfig::paper_defaults(PaperWorkload::C.rate_for(1.0, workers));
+                cfg.period = control_period;
+                FcfsPreempt::adaptive(QuantumController::new(cfg, SimDur::micros(20)))
+            }
+        };
         let r = run(mk_cfg(), Box::new(policy), mk_spec());
-        rows.push(Fig9Row {
-            policy: label,
+        Fig9Row {
+            policy: label.to_string(),
             slo_violation_frac: r.slo_violations(SLO),
             p99_us: r.p99_us(),
             final_quantum_us: r.final_quantum.as_micros_f64(),
             report: r,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Renders the summary table.

@@ -13,7 +13,10 @@
 //! ```
 //!
 //! or a single artifact, e.g. `--bin fig8`. Set `LP_SCALE=quick` for a
-//! fast pass.
+//! fast pass. Independent sweep points fan out across `LP_JOBS` worker
+//! threads (default: all cores) through [`runner`], with output
+//! byte-identical to `LP_JOBS=1` — see `docs/PERFORMANCE.md` for the
+//! architecture and the determinism argument.
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod fig14;
 pub mod fig2;
 pub mod fig8;
 pub mod fig9;
+pub mod runner;
 pub mod table1;
 pub mod table4;
 

@@ -899,8 +899,15 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn Policy>, spec: WorkloadSpec) -> R
         0
     };
 
+    // Pre-size the event queue from the arrival-rate hint: the live
+    // event population is bounded by in-flight requests (~100 us of
+    // peak arrivals, capped by the context pool) plus a deadline and a
+    // finish event per worker and the arrival/control ticks.
+    let queue_hint = 64
+        + cfg.workers * 4
+        + ((offered * 1e-4) as usize).min(cfg.pool_capacity);
     let model = LibPreemptibleSystem::new(cfg, spec, policy);
-    let mut sim = Simulation::new(model);
+    let mut sim = Simulation::with_capacity(model, queue_hint);
     sim.schedule_at(SimTime::ZERO, Ev::Arrival);
     sim.schedule_at(SimTime::ZERO + control_period, Ev::ControlTick);
     sim.run_until(SimTime::ZERO + duration);

@@ -112,9 +112,17 @@ pub struct Simulation<M: Model> {
 impl<M: Model> Simulation<M> {
     /// Creates a simulation at time zero around `model`.
     pub fn new(model: M) -> Self {
+        Self::with_capacity(model, 0)
+    }
+
+    /// Creates a simulation whose event queue is pre-sized for
+    /// `capacity` concurrently scheduled events (see
+    /// [`EventQueue::with_capacity`]). Runtimes derive the hint from
+    /// their offered arrival rate so the heap never grows mid-run.
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
         Simulation {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             stop: false,
             events_processed: 0,
@@ -197,10 +205,9 @@ impl<M: Model> Simulation<M> {
     /// `deadline` still fire), the queue drains, or the model stops.
     /// Afterwards the clock reads `min(deadline, last event time)`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            if self.stop {
-                return;
-            }
+        // `peek_time` is non-mutating, so the bound check borrows the
+        // queue only for the comparison.
+        while !self.stop {
             match self.queue.peek_time() {
                 Some(t) if t <= deadline => {
                     self.step();

@@ -13,6 +13,10 @@
 //!   scheduling into the past.
 //! * **Determinism** — all randomness flows through [`rng`] substreams of
 //!   a single master seed.
+//! * **Parallelism only *between* runs** — a single simulation never
+//!   crosses a thread; [`par::ordered_map`] fans independent seeded
+//!   runs onto a scoped pool and collects results in submission order,
+//!   so sweeps parallelize without touching the determinism story.
 //!
 //! ```
 //! use lp_sim::{Ctx, Model, SimDur, SimTime, Simulation};
@@ -67,6 +71,7 @@
 
 mod engine;
 pub mod obs;
+pub mod par;
 mod queue;
 pub mod rng;
 mod time;

@@ -1,45 +1,82 @@
 //! The pending-event queue.
 //!
-//! A binary heap ordered by `(time, seq)` where `seq` is a monotonically
-//! increasing sequence number. The sequence number makes event ordering
-//! *total* and therefore the whole simulation deterministic: two events
-//! scheduled for the same instant fire in scheduling order.
+//! A binary heap whose ordering key is a single packed `u128`:
+//! `(time << 64) | seq`, where `seq` is a monotonically increasing
+//! sequence number. One integer compare per sift step keeps the pop
+//! path tight, and the sequence number makes event ordering *total* and
+//! therefore the whole simulation deterministic: two events scheduled
+//! for the same instant fire in scheduling order.
 //!
-//! Cancellation is cheap via tombstones: [`EventQueue::cancel`] records
-//! the event id in an ordered set and [`EventQueue::pop`] skips dead
-//! entries. This is the pattern needed by re-armed deadlines (LibUtimer
-//! re-arms a thread's preemption deadline every time the scheduler
-//! grants a new quantum, invalidating the previously scheduled expiry).
-//! The tombstone set is a `BTreeSet`, not a hash set: randomized
-//! hashing is a nondeterminism source the `lp-check` `nondet` lint
-//! bans from sim-path crates, and id lookups here are O(log n) on a
-//! set that is almost always tiny.
+//! Cancellation is O(1) via **generation-tagged slots** instead of a
+//! tombstone set. Every scheduled event borrows a slot in a small
+//! table; its [`EventId`] packs `(slot, generation)`. An entry is live
+//! exactly while its generation matches the slot's current generation,
+//! so [`EventQueue::cancel`] is one bounds-checked compare + increment
+//! — including the cancel-after-fire case that used to leave a
+//! tombstone behind until the heap fully drained. This is the pattern
+//! needed by re-armed deadlines (LibUtimer re-arms a thread's
+//! preemption deadline every time the scheduler grants a new quantum,
+//! invalidating the previously scheduled expiry): cancel + re-push is
+//! O(log n) with no per-tombstone memory left behind.
+//!
+//! Dead entries are popped from the heap lazily, but the queue
+//! maintains the invariant that the *top* of the heap is always live
+//! (cancel and pop both drain dead tops, each dead entry is popped
+//! exactly once, so the amortized cost is unchanged). That invariant is
+//! what lets [`EventQueue::peek_time`] and [`EventQueue::is_empty`]
+//! take `&self` — there is never cleanup left to do at peek time.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Identifies a scheduled event so it can be cancelled.
+///
+/// Internally packs `(generation, slot)`; the raw value is an opaque
+/// handle (stable within a run, reproducible across runs with the same
+/// seed, but *not* monotonic — slots are reused).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
 impl EventId {
-    /// The raw sequence number, useful in traces.
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw handle bits, useful in traces. Opaque: encodes a reused
+    /// slot index plus its generation, not a sequence number.
     pub fn as_u64(self) -> u64 {
         self.0
     }
 }
 
 struct Entry<E> {
-    time: SimTime,
-    id: EventId,
+    /// `(time << 64) | seq` — orders by time, ties broken by insertion
+    /// order, in one integer compare.
+    key: u128,
+    slot: u32,
+    gen: u32,
     event: E,
+}
+
+impl<E> Entry<E> {
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.id == other.id
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -50,9 +87,9 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops
-        // first.
-        (other.time, other.id).cmp(&(self.time, self.id))
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -69,7 +106,13 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: BTreeSet<EventId>,
+    /// Current generation per slot. An entry is live iff its stored
+    /// generation equals its slot's.
+    slots: Vec<u32>,
+    /// Reusable slot indices.
+    free: Vec<u32>,
+    /// Live (scheduled, not cancelled, not fired) events.
+    live: usize,
     next_seq: u64,
 }
 
@@ -82,9 +125,19 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` concurrently
+    /// scheduled events (an *arrival-rate hint*: the heap and the slot
+    /// table allocate up front instead of growing through the run's
+    /// ramp-up).
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -92,57 +145,107 @@ impl<E> EventQueue<E> {
     /// Schedules `event` to fire at `time`. Returns an id usable with
     /// [`cancel`](Self::cancel).
     pub fn push(&mut self, time: SimTime, event: E) -> EventId {
-        let id = EventId(self.next_seq);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, id, event });
-        id
-    }
-
-    /// Cancels a previously scheduled event.
-    ///
-    /// Cancelling an id that already fired (or was already cancelled) is a
-    /// no-op; the tombstone is reclaimed lazily.
-    pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
-    }
-
-    /// Removes and returns the earliest live event, skipping cancelled
-    /// entries.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(0);
+                s
             }
-            return Some((entry.time, entry.event));
+        };
+        let gen = self.slots[slot as usize];
+        self.live += 1;
+        self.heap.push(Entry {
+            key: ((time.as_nanos() as u128) << 64) | seq as u128,
+            slot,
+            gen,
+            event,
+        });
+        EventId::new(slot, gen)
+    }
+
+    /// `true` while the entry owning (`slot`, `gen`) is still scheduled.
+    fn id_live(&self, slot: u32, gen: u32) -> bool {
+        self.slots
+            .get(slot as usize)
+            .is_some_and(|&cur| cur == gen)
+    }
+
+    /// Invalidates a slot (its current entry becomes dead) and recycles
+    /// it for the next push.
+    fn retire(&mut self, slot: u32) {
+        self.slots[slot as usize] = self.slots[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// Re-establishes the "heap top is live" invariant after a retire.
+    fn drain_dead_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.id_live(top.slot, top.gen) {
+                break;
+            }
+            self.heap.pop();
         }
-        // The heap is empty; any remaining tombstones refer to ids that
-        // will never pop (already fired), so drop them.
-        self.cancelled.clear();
-        None
+    }
+
+    /// Cancels a previously scheduled event in O(1) (plus amortized
+    /// cleanup of dead heap tops).
+    ///
+    /// Cancelling an id that already fired (or was already cancelled) is
+    /// a no-op: the slot's generation has moved on, so the stale id
+    /// matches nothing and leaves no state behind.
+    pub fn cancel(&mut self, id: EventId) {
+        if !self.id_live(id.slot(), id.gen()) {
+            return;
+        }
+        self.retire(id.slot());
+        self.drain_dead_top();
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // Invariant: the heap top is live (dead entries are drained by
+        // the cancel/pop that killed or uncovered them).
+        let entry = self.heap.pop()?;
+        debug_assert!(self.id_live(entry.slot, entry.gen), "dead entry at heap top");
+        self.retire(entry.slot);
+        self.drain_dead_top();
+        Some((entry.time(), entry.event))
     }
 
     /// The timestamp of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let e = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&e.id);
-                continue;
-            }
-            return Some(entry.time);
-        }
-        None
+    ///
+    /// Non-mutating: the heap top is maintained live by
+    /// [`cancel`](Self::cancel)/[`pop`](Self::pop), so there is no lazy
+    /// cleanup left to do here.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(Entry::time)
     }
 
-    /// Number of entries still in the heap, *including* not-yet-skipped
+    /// Number of live (scheduled, not cancelled) events. O(1).
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of entries still in the heap, *including* not-yet-drained
     /// cancelled entries. An upper bound on live events.
     pub fn len_upper_bound(&self) -> usize {
         self.heap.len()
     }
 
-    /// `true` when no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    /// Size of the slot table: the high-water mark of concurrently
+    /// scheduled events. Exposed so capacity regressions (leaking slots
+    /// or tombstone-style growth) are testable.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no live events remain. O(1), non-mutating.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 }
 
@@ -175,6 +278,20 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_insertion_order_across_slot_reuse() {
+        // Slot reuse must not disturb the time-tie ordering: the order
+        // key is the monotonic sequence number, not the recycled id.
+        let mut q = EventQueue::new();
+        let a = q.push(t(5), "dead");
+        q.cancel(a); // frees slot 0
+        q.push(t(5), "first"); // reuses slot 0, later seq
+        q.push(t(5), "second");
+        q.push(t(3), "zeroth");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["zeroth", "first", "second"]);
+    }
+
+    #[test]
     fn cancel_removes_event() {
         let mut q = EventQueue::new();
         let a = q.push(t(1), "a");
@@ -195,14 +312,18 @@ mod tests {
     }
 
     #[test]
-    fn peek_skips_cancelled() {
+    fn peek_is_nonmutating_and_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.push(t(1), "a");
         q.push(t(7), "b");
         q.cancel(a);
-        assert_eq!(q.peek_time(), Some(t(7)));
+        // &self peeks: no &mut needed.
+        let r = &q;
+        assert_eq!(r.peek_time(), Some(t(7)));
+        assert!(!r.is_empty());
         assert_eq!(q.pop(), Some((t(7), "b")));
         assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]
@@ -212,9 +333,73 @@ mod tests {
         q.cancel(a);
         q.cancel(a);
         assert!(q.pop().is_none());
-        // A later event with a fresh id must not be affected by the stale
-        // tombstone.
-        q.push(t(2), 2u32);
+        // A later event with a fresh id must not be affected by the
+        // stale handle, even though it reuses the slot.
+        let b = q.push(t(2), 2u32);
+        q.cancel(a); // stale generation: no-op
+        assert_ne!(a, b);
         assert_eq!(q.pop(), Some((t(2), 2u32)));
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_accumulate_state() {
+        // Regression test for unbounded tombstone growth: ids cancelled
+        // *after* firing used to sit in the tombstone set until the heap
+        // fully drained. With generation slots they are O(1) no-ops.
+        let mut q = EventQueue::new();
+        // A far-future event keeps the heap from ever draining.
+        let _far = q.push(t(u64::MAX / 2), 0u64);
+        for i in 1..=10_000u64 {
+            let id = q.push(t(i), i);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+            q.cancel(id); // cancel after fire, heap still non-empty
+        }
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.len_upper_bound(), 1, "dead entries accumulated");
+        assert!(
+            q.slot_capacity() <= 2,
+            "slot table grew without bound: {}",
+            q.slot_capacity()
+        );
+    }
+
+    #[test]
+    fn cancel_rearm_pattern_is_bounded() {
+        // The LibUtimer deadline pattern: each grant cancels the
+        // previous deadline and arms a new one. State must stay O(live).
+        let mut q = EventQueue::new();
+        let mut deadline = q.push(t(10), 0u64);
+        for i in 1..=10_000u64 {
+            q.cancel(deadline);
+            deadline = q.push(t(10 + i), i);
+        }
+        assert_eq!(q.live_len(), 1);
+        // Dead entries above the live one are drained as they surface;
+        // here every cancel hits the heap top, so nothing accumulates.
+        assert_eq!(q.len_upper_bound(), 1);
+        assert!(q.slot_capacity() <= 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(10_000));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(1_024);
+        assert!(q.is_empty());
+        assert_eq!(q.slot_capacity(), 0);
+        assert_eq!(q.len_upper_bound(), 0);
+    }
+
+    #[test]
+    fn live_len_tracks_all_paths() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        let _b = q.push(t(2), 2);
+        assert_eq!(q.live_len(), 2);
+        q.cancel(a);
+        assert_eq!(q.live_len(), 1);
+        q.pop();
+        assert_eq!(q.live_len(), 0);
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,64 @@
+//! Tier-1 gate: the parallel experiment runner is *byte-deterministic*.
+//!
+//! The contract (docs/PERFORMANCE.md): for any job count, every
+//! artifact produces exactly the same result vectors and exactly the
+//! same CSV bytes as the serial run. These tests pin that for the
+//! quick-scale Fig. 2 grid and the full Fig. 8 grid (sweep +
+//! max-throughput reduction — the one with a nontrivial serial
+//! reduction over parallel measurements) across `LP_JOBS` ∈ {1, 2, 8}.
+//!
+//! `runner::with_jobs` pins the job count per call, so these tests are
+//! independent of the environment and of each other.
+
+use lp_experiments::runner::with_jobs;
+use lp_experiments::{fig2, fig8, Scale};
+
+const SEED: u64 = 2024;
+
+#[test]
+fn fig2_grid_is_byte_identical_across_job_counts() {
+    let serial = with_jobs(1, || fig2::run_fig2(Scale::Quick, SEED));
+    let serial_csv = fig2::table(&serial).to_csv();
+    for jobs in [2, 8] {
+        let par = with_jobs(jobs, || fig2::run_fig2(Scale::Quick, SEED));
+        assert_eq!(serial, par, "fig2 points diverged at LP_JOBS={jobs}");
+        assert_eq!(
+            serial_csv,
+            fig2::table(&par).to_csv(),
+            "fig2 CSV bytes diverged at LP_JOBS={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fig8_sweep_is_byte_identical_across_job_counts() {
+    let serial = with_jobs(1, || fig8::run_fig8(Scale::Quick, SEED));
+    let serial_csv = fig8::sweep_table(&serial).to_csv();
+    for jobs in [2, 8] {
+        let par = with_jobs(jobs, || fig8::run_fig8(Scale::Quick, SEED));
+        assert_eq!(serial, par, "fig8 sweep diverged at LP_JOBS={jobs}");
+        assert_eq!(
+            serial_csv,
+            fig8::sweep_table(&par).to_csv(),
+            "fig8 sweep CSV bytes diverged at LP_JOBS={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fig8_max_throughput_reduction_is_byte_identical_across_job_counts() {
+    // The max-throughput path parallelizes the measurements but reduces
+    // the saturation criterion serially — the reduction must see the
+    // reports in exactly the submission order.
+    let serial = with_jobs(1, || fig8::run_max_throughput(Scale::Quick, SEED));
+    let serial_csv = fig8::max_table(&serial).to_csv();
+    for jobs in [2, 8] {
+        let par = with_jobs(jobs, || fig8::run_max_throughput(Scale::Quick, SEED));
+        assert_eq!(serial, par, "fig8 max-throughput diverged at LP_JOBS={jobs}");
+        assert_eq!(
+            serial_csv,
+            fig8::max_table(&par).to_csv(),
+            "fig8 max CSV bytes diverged at LP_JOBS={jobs}"
+        );
+    }
+}
