@@ -7,7 +7,12 @@
 //! * the cancellation-heavy LibUtimer pattern (push → cancel → re-arm);
 //! * wall-clock for the quick-scale `all` artifact list, serial
 //!   (`LP_JOBS=1`) vs. parallel, plus the speedup — and a byte-identity
-//!   check that both runs produced the same tables and CSVs.
+//!   check that both runs produced the same tables and CSVs;
+//! * the healthy-path cost of the fault-injection machinery: the same
+//!   run with no `FaultPlan` vs. an armed-but-unreachable one (injector
+//!   constructed, a watchdog per preemption, zero faults fire). The
+//!   results must be identical and the wall-clock overhead is the
+//!   number CI gates at < 2% (see `docs/FAULTS.md`).
 //!
 //! `lp-bench --json` additionally writes `BENCH_results.json` (schema
 //! documented in `docs/PERFORMANCE.md`) for CI artifact upload and
@@ -20,9 +25,12 @@
 
 use std::time::Instant;
 
+use libpreemptible::{run, FcfsPreempt, RunReport, RuntimeConfig, ServiceSource, WorkloadSpec};
 use lp_experiments::runner::{self, ArtifactOutput};
 use lp_experiments::{Scale, DEFAULT_SEED};
-use lp_sim::{EventQueue, SimTime};
+use lp_sim::fault::{FaultKind, FaultPlan};
+use lp_sim::{EventQueue, SimDur, SimTime};
+use lp_workload::{PhasedService, RateSchedule, ServiceDist};
 
 /// Events per measured iteration of the queue microbenchmarks.
 const EVENTS: u64 = 10_000;
@@ -84,6 +92,63 @@ fn arm_cancel_rearm_per_sec() -> f64 {
     (EVENTS * ITERS as u64) as f64 / total
 }
 
+/// One iteration of the fault-overhead workload: preemption-heavy
+/// (every request needs many quanta), UINTR mechanism.
+fn fault_probe_run(faults: FaultPlan) -> RunReport {
+    run(
+        RuntimeConfig {
+            workers: 4,
+            control_period: SimDur::millis(10),
+            faults,
+            ..RuntimeConfig::default()
+        },
+        Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+        WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(ServiceDist::workload_b())),
+            arrivals: RateSchedule::Constant(300_000.0),
+            duration: SimDur::millis(50),
+            warmup: SimDur::millis(5),
+        },
+    )
+}
+
+/// Wall-clock cost of the fault-injection machinery on the healthy
+/// path: disabled plan vs. an armed plan whose single scheduled fault
+/// sits at an unreachable occurrence — the injector exists and every
+/// preemption arms a watchdog, but nothing ever fires. Returns
+/// `(healthy_secs, armed_secs, results_identical)` where the times are
+/// the *minimum* over the measured iterations: the two configurations
+/// are interleaved and each does identical deterministic work, so the
+/// fastest observed run of each is the noise-robust estimate of its
+/// true cost (sums/means absorb every scheduler hiccup of the host).
+/// The two runs must produce identical results or the machinery is not
+/// a no-op.
+fn fault_overhead() -> (f64, f64, bool) {
+    let armed_plan = || FaultPlan::once(FaultKind::IpiDrop, u64::MAX);
+    let mut healthy_secs = f64::INFINITY;
+    let mut armed_secs = f64::INFINITY;
+    let mut identical = true;
+    for it in 0..WARMUP + ITERS {
+        let start = Instant::now();
+        let healthy = fault_probe_run(FaultPlan::disabled());
+        let healthy_t = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let armed = fault_probe_run(armed_plan());
+        let armed_t = start.elapsed().as_secs_f64();
+        if it >= WARMUP {
+            healthy_secs = healthy_secs.min(healthy_t);
+            armed_secs = armed_secs.min(armed_t);
+        }
+        identical &= healthy.arrivals == armed.arrivals
+            && healthy.completions == armed.completions
+            && healthy.preemptions == armed.preemptions
+            && healthy.latency.p99() == armed.latency.p99()
+            && healthy.metrics.counters == armed.metrics.counters
+            && armed.metrics.counter("faults_injected") == 0;
+    }
+    (healthy_secs, armed_secs, identical)
+}
+
 /// Runs the quick-scale artifact list once, returning the outputs and
 /// the wall-clock seconds.
 fn timed_all(jobs: usize) -> (Vec<(&'static str, ArtifactOutput)>, f64) {
@@ -120,6 +185,10 @@ fn main() {
     eprintln!("lp-bench: event queue (arm/cancel/re-arm) ...");
     let rearm = arm_cancel_rearm_per_sec();
 
+    eprintln!("lp-bench: fault-injection overhead (healthy vs armed) ...");
+    let (fault_healthy_secs, fault_armed_secs, fault_identical) = fault_overhead();
+    let fault_overhead_pct = (fault_armed_secs / fault_healthy_secs - 1.0) * 100.0;
+
     let jobs = runner::jobs();
     eprintln!("lp-bench: quick-scale all, serial ...");
     let (serial_out, serial_secs) = timed_all(1);
@@ -130,6 +199,13 @@ fn main() {
 
     println!("engine.push_pop:        {:>12.0} events/s", push_pop);
     println!("engine.arm_cancel_rearm:{:>12.0} cycles/s", rearm);
+    println!("faults.healthy:         {fault_healthy_secs:>12.3} s");
+    println!("faults.armed:           {fault_armed_secs:>12.3} s");
+    println!("faults.overhead:        {fault_overhead_pct:>12.2} %");
+    println!(
+        "faults.results:         {}",
+        if fault_identical { "identical" } else { "DIFFER" }
+    );
     println!("all(quick).serial:      {serial_secs:>12.2} s");
     println!("all(quick).parallel:    {par_secs:>12.2} s  (LP_JOBS={jobs})");
     println!("all(quick).speedup:     {speedup:>12.2} x");
@@ -140,7 +216,7 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"schema\": \"lp-bench/1\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n"
+            "{{\n  \"schema\": \"lp-bench/1\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n"
         );
         std::fs::write("BENCH_results.json", body).expect("write BENCH_results.json");
         eprintln!("lp-bench: wrote BENCH_results.json");
@@ -148,6 +224,10 @@ fn main() {
 
     if !identical {
         eprintln!("lp-bench: serial and parallel outputs differ — determinism regression");
+        std::process::exit(1);
+    }
+    if !fault_identical {
+        eprintln!("lp-bench: armed-but-silent fault plan changed results — injector is not a no-op");
         std::process::exit(1);
     }
 }

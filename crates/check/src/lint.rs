@@ -17,8 +17,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{
-    nondet_file_allowance, RuleId, NONDET_EXEMPT_CRATES, NONDET_TOKENS, OBS_PAIRED_CRATES,
-    UNSAFE_ALLOWED_CRATE,
+    nondet_file_allowance, RuleId, FAULT_RNG_FILE, FAULT_RNG_TOKENS, NONDET_EXEMPT_CRATES,
+    NONDET_TOKENS, OBS_PAIRED_CRATES, UNSAFE_ALLOWED_CRATE,
 };
 
 /// One finding, pinned to a file and line.
@@ -563,6 +563,22 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
             }
         }
 
+        if rel == FAULT_RNG_FILE {
+            for token in FAULT_RNG_TOKENS {
+                if contains_token(code, token) {
+                    push(
+                        RuleId::FaultRng,
+                        line,
+                        format!(
+                            "`{token}` in the fault injector — draw from \
+                             `rng(master, streams::FAULTS)` only, never seed an RNG here"
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+
         if !is_bin {
             for mac in ["println!", "eprintln!"] {
                 if code.contains(mac) {
@@ -825,6 +841,43 @@ mod tests {
             &mut r,
         );
         assert_eq!(r.violation_count(), 1);
+    }
+
+    #[test]
+    fn fault_rng_rule_is_scoped_to_the_injector_file() {
+        let vocab = BTreeSet::new();
+        // Seeding an RNG inside fault.rs fails the build.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/fault.rs",
+            "let r = SmallRng::seed_from_u64(7);\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 1, "{}", r.human());
+        assert!(r.diagnostics[0].message.contains("streams::FAULTS"));
+        // The same token elsewhere is not this rule's business (other
+        // rules may still apply).
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/rng.rs",
+            "let r = SmallRng::seed_from_u64(7);\n",
+            &vocab,
+            &mut r,
+        );
+        assert!(r
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != RuleId::FaultRng), "{}", r.human());
+        // Drawing via the blessed substream helper is clean.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/fault.rs",
+            "let r = rng(master, streams::FAULTS);\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 0, "{}", r.human());
     }
 
     #[test]

@@ -31,9 +31,10 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use lp_hw::uintr::{ReceiverState, SendOutcome, Uitt, UintrDomain, UpidHandle};
+use lp_hw::uintr::{DropReason, ReceiverState, SendOutcome, Uitt, UintrDomain, UpidHandle};
 use lp_hw::uintr_spec::SpecUpid;
 use lp_hw::CoreId;
+use lp_sim::fault::IpiFault;
 
 /// One atomic protocol transition in a scenario program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,14 @@ pub enum Op {
     /// A sender executes `SENDUIPI` posting `vector`.
     Send {
         /// User vector 0..64 to post.
+        vector: u8,
+    },
+    /// A sender executes `SENDUIPI` but the fabric drops it
+    /// (fault-injected [`IpiFault::Drop`]): the instruction retires,
+    /// nothing reaches the UPID, and the outcome must be a typed
+    /// `Dropped` — never a silent success.
+    SendLost {
+        /// User vector 0..64 the lost send was carrying.
         vector: u8,
     },
     /// The receiver drains its UPID (`acknowledge`).
@@ -59,6 +68,7 @@ impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Op::Send { vector } => write!(f, "send(v{vector})"),
+            Op::SendLost { vector } => write!(f, "send-lost(v{vector})"),
             Op::Ack => write!(f, "ack"),
             Op::Suppress(b) => write!(f, "sn={}", u8::from(*b)),
             Op::SetRecvState(s) => write!(f, "recv={s:?}"),
@@ -345,6 +355,21 @@ impl World {
                     ));
                 }
             }
+            Op::SendLost { vector } => {
+                let entry = self.uitt.get(vector as usize).expect("uitt entry");
+                let got = self
+                    .dom
+                    .senduipi_with_fault(entry, self.recv_state, Some(IpiFault::Drop))
+                    .map_err(|e| (Invariant::SpecAgreement, format!("lost send failed: {e}")))?;
+                if got != (SendOutcome::Dropped { reason: DropReason::Faulted }) {
+                    return Err((
+                        Invariant::SpecAgreement,
+                        format!("lost send(v{vector}) -> {got:?}, expected Dropped/Faulted"),
+                    ));
+                }
+                // Nothing was posted: `sent`/`live`/spec stay untouched,
+                // and check_state() below verifies the domain agrees.
+            }
             Op::Ack => {
                 let got = self
                     .dom
@@ -581,6 +606,23 @@ pub fn default_scenarios() -> Vec<Scenario> {
             ],
         },
         Scenario {
+            name: "lossy-retry",
+            what: "a watchdog re-send races the original it presumed lost (no double-deliver)",
+            threads: vec![
+                // The receiver drains twice: if the retry could ever be
+                // delivered as a second, distinct wakeup for the same
+                // preemption, DrainExactlyOnce/Conservation would trip.
+                vec![Ack, Ack],
+                // The original send: in the racy interleavings it is
+                // still in flight when the watchdog gives up on it.
+                vec![Send { vector: 5 }],
+                // The watchdog: its first attempt is eaten by the
+                // fabric (typed Dropped, no UPID state), then it
+                // re-sends the same vector.
+                vec![SendLost { vector: 5 }, Send { vector: 5 }],
+            ],
+        },
+        Scenario {
             name: "suppress-drain-race",
             what: "SN toggles race drains and a two-sender burst",
             threads: vec![
@@ -670,6 +712,39 @@ mod tests {
         w.sent |= 1 << 5; // a send the hardware dropped entirely
         let err = w.check_state().unwrap_err();
         assert_eq!(err.0, Invariant::Conservation);
+    }
+
+    /// A fault-dropped send must be a perfect no-op: typed `Dropped`
+    /// outcome, no UPID mutation, no spec divergence, no credit in the
+    /// conservation ledger. This is the single-op core of the
+    /// `lossy-retry` scenario.
+    #[test]
+    fn lost_send_changes_nothing() {
+        let mut w = World::new();
+        w.apply(Op::Send { vector: 7 }).unwrap();
+        let before = w.fingerprint();
+        let sent = w.sent;
+        w.apply(Op::SendLost { vector: 7 }).unwrap();
+        assert_eq!(w.fingerprint(), before);
+        assert_eq!(w.sent, sent, "a dropped send must not earn drain credit");
+        w.check_state().unwrap();
+        w.epilogue().unwrap();
+    }
+
+    #[test]
+    fn lossy_retry_scenario_is_in_the_default_suite() {
+        let sc = default_scenarios();
+        let lossy = sc
+            .iter()
+            .find(|s| s.name == "lossy-retry")
+            .expect("lossy-retry scenario registered");
+        assert!(lossy
+            .threads
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, Op::SendLost { .. })));
+        let r = explore(lossy, Mode::Full);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
     #[test]

@@ -19,18 +19,23 @@ pub enum RuleId {
     SafetyComment,
     /// No `println!`/`eprintln!` in library code.
     NoPrint,
+    /// The fault injector must draw all randomness from the
+    /// `lp_sim::rng` substream machinery — never seed or source an RNG
+    /// of its own.
+    FaultRng,
     /// A malformed suppression comment (missing rule or reason).
     BadAllow,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::Nondet,
         RuleId::ObsPair,
         RuleId::UnsafeScope,
         RuleId::SafetyComment,
         RuleId::NoPrint,
+        RuleId::FaultRng,
         RuleId::BadAllow,
     ];
 
@@ -43,6 +48,7 @@ impl RuleId {
             RuleId::UnsafeScope => "unsafe-scope",
             RuleId::SafetyComment => "safety-comment",
             RuleId::NoPrint => "no-print",
+            RuleId::FaultRng => "fault-rng",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -76,6 +82,11 @@ impl RuleId {
             RuleId::NoPrint => {
                 "library crates report through the Observer/RunReport, never stdout; \
                  prints belong in bins and examples"
+            }
+            RuleId::FaultRng => {
+                "fault injection is only safe to ship because it is byte-reproducible; \
+                 fault.rs seeding its own RNG (instead of the frozen streams::FAULTS \
+                 substream) would silently decouple faulty runs from the master seed"
             }
             RuleId::BadAllow => {
                 "a suppression without a known rule id and a reason defeats the audit \
@@ -159,6 +170,21 @@ pub const UNSAFE_ALLOWED_CRATE: &str = "fibers";
 /// `*_observed` wrappers must keep their plain twin
 /// ([`RuleId::ObsPair`]).
 pub const OBS_PAIRED_CRATES: [&str; 3] = ["hw", "kernel", "preemptible"];
+
+/// The file [`RuleId::FaultRng`] polices: the fault injector.
+pub const FAULT_RNG_FILE: &str = "crates/sim/src/fault.rs";
+
+/// RNG seeding/sourcing tokens banned from [`FAULT_RNG_FILE`]. The
+/// injector receives its generator fully formed from
+/// `lp_sim::rng::rng(master, streams::FAULTS)`; any of these tokens
+/// would mean it is minting entropy or substreams of its own.
+pub const FAULT_RNG_TOKENS: [&str; 5] = [
+    "OsRng",
+    "SeedableRng",
+    "StdRng",
+    "from_entropy",
+    "seed_from_u64",
+];
 
 #[cfg(test)]
 mod tests {

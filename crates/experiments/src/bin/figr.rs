@@ -1,0 +1,8 @@
+//! Regenerates Fig. R (extension: tail latency vs IPI fault rate).
+use lp_experiments::{common::Scale, figr, DEFAULT_SEED};
+fn main() {
+    let scale = Scale::from_env(Scale::Full);
+    let rows = figr::run_figr(scale, DEFAULT_SEED);
+    println!("{}", figr::table(&rows).render());
+    lp_experiments::common::save_csv("figR.csv", &figr::table(&rows).to_csv());
+}

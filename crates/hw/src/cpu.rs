@@ -66,6 +66,48 @@ impl Tsc {
     }
 }
 
+/// A core stall/hog window (fault injection, `lp_sim::fault`'s
+/// `CoreHog`): while the window is open the core executes straight-line
+/// work but services no preemption delivery — interrupts effectively
+/// mask until the window closes, exactly the failure interrupt-isolation
+/// work guards against. The runtime defers any preemption arrival on a
+/// hogged core to the window's end via [`defer`](HogWindow::defer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HogWindow {
+    until: Option<SimTime>,
+}
+
+impl HogWindow {
+    /// No window open.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Opens (or extends) a window covering `[now, now + dur]`.
+    pub fn begin(&mut self, now: SimTime, dur: SimDur) {
+        let end = now + dur;
+        self.until = Some(match self.until {
+            Some(u) if u > end => u,
+            _ => end,
+        });
+    }
+
+    /// `true` while the window covers `now`.
+    pub fn active(&self, now: SimTime) -> bool {
+        self.until.is_some_and(|u| u > now)
+    }
+
+    /// The earliest instant at or after `at` the core can take a
+    /// preemption: `at` itself when no window covers it, else the
+    /// window's end.
+    pub fn defer(&self, at: SimTime) -> SimTime {
+        match self.until {
+            Some(u) if u > at => u,
+            _ => at,
+        }
+    }
+}
+
 /// Where a core's time went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimeClass {
@@ -247,6 +289,27 @@ mod tests {
         let c = CoreClock::new();
         assert_eq!(c.preemption_over_work(), 0.0);
         assert_eq!(c.fraction(TimeClass::Work, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn hog_window_defers_and_expires() {
+        let mut h = HogWindow::none();
+        let t = SimTime::from_nanos;
+        assert!(!h.active(t(0)));
+        assert_eq!(h.defer(t(50)), t(50));
+        h.begin(t(100), SimDur::nanos(200));
+        assert!(h.active(t(100)));
+        assert!(h.active(t(299)));
+        assert!(!h.active(t(300)), "window end is exclusive");
+        assert_eq!(h.defer(t(150)), t(300));
+        assert_eq!(h.defer(t(300)), t(300));
+        assert_eq!(h.defer(t(400)), t(400));
+        // A shorter overlapping window never shrinks the deferral.
+        h.begin(t(200), SimDur::nanos(10));
+        assert_eq!(h.defer(t(250)), t(300));
+        // A longer one extends it.
+        h.begin(t(250), SimDur::nanos(200));
+        assert_eq!(h.defer(t(260)), t(450));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! caller from [`HwCosts`](crate::HwCosts) — so its transitions can be
 //! unit-tested exhaustively.
 
+use lp_sim::fault::IpiFault;
 use lp_sim::obs::{Event, Observer};
 use lp_sim::SimTime;
 
@@ -30,8 +31,24 @@ use crate::cpu::CoreId;
 pub const UINTR_VECTORS: u8 = 64;
 
 /// Handle to a registered receiver descriptor inside a [`UintrDomain`].
+///
+/// Generation-tagged: unregistering a receiver bumps its slot's
+/// generation, so a stale handle kept across an unregister/register
+/// cycle can never alias the slot's new owner — sends through it report
+/// [`SendOutcome::Dropped`] instead of silently signalling a stranger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct UpidHandle(usize);
+pub struct UpidHandle {
+    index: usize,
+    gen: u32,
+}
+
+impl UpidHandle {
+    /// The UPID slot index (stable for the handle's lifetime; reused
+    /// slots get a fresh generation, not a fresh index).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
 
 /// User Posted Interrupt Descriptor — the receiver-side mailbox.
 #[derive(Debug, Clone, Default)]
@@ -75,6 +92,28 @@ pub enum SendOutcome {
     Coalesced,
     /// Vector recorded but notifications are suppressed (`SN = 1`).
     Suppressed,
+    /// The notification will never arrive: the instruction executed but
+    /// nothing useful reaches the receiver. The caller must treat this
+    /// as a lost preemption (retry, or fall back to the signal path).
+    Dropped {
+        /// Why the send went nowhere.
+        reason: DropReason,
+    },
+}
+
+/// Why a send produced [`SendOutcome::Dropped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The target receiver was unregistered mid-flight; the UITT entry
+    /// is stale and no UPID state was touched.
+    Unregistered,
+    /// The fault injector dropped the IPI in the fabric; no UPID state
+    /// was touched.
+    Faulted,
+    /// The UPID's `NDST` was stale: the vector posted (and `ON` set),
+    /// but the notification was misdirected to the wrong core and will
+    /// never reach the handler.
+    StaleNdst,
 }
 
 /// Error returned for malformed sends.
@@ -137,10 +176,31 @@ impl Uitt {
     }
 
     /// Removes an entry (`uintr_unregister_sender(2)`).
+    ///
+    /// Removal is by slot, so an index unregistered twice (or never
+    /// registered) is a no-op, never a panic. Entries installed for a
+    /// receiver that is being torn down should additionally be cleared
+    /// with [`purge_upid`](Self::purge_upid) — a stale entry left behind
+    /// is harmless (sends through it report [`SendOutcome::Dropped`])
+    /// but wastes table space and hides the teardown bug.
     pub fn unregister(&mut self, index: usize) {
         if let Some(e) = self.entries.get_mut(index) {
             *e = None;
         }
+    }
+
+    /// Defensively clears every entry targeting `upid`, returning how
+    /// many were removed. Call when unregistering a receiver so no
+    /// stale sender mapping survives the teardown.
+    pub fn purge_upid(&mut self, upid: UpidHandle) -> usize {
+        let mut purged = 0;
+        for e in &mut self.entries {
+            if e.is_some_and(|entry| entry.upid == upid) {
+                *e = None;
+                purged += 1;
+            }
+        }
+        purged
     }
 
     /// Looks up a live entry.
@@ -180,6 +240,9 @@ impl Uitt {
 #[derive(Debug, Clone, Default)]
 pub struct UintrDomain {
     upids: Vec<Option<Upid>>,
+    /// Per-slot generation, bumped on unregister: a handle is live only
+    /// while its generation matches, so slot reuse can never alias.
+    gens: Vec<u32>,
 }
 
 impl UintrDomain {
@@ -189,46 +252,69 @@ impl UintrDomain {
     }
 
     /// Registers a receiver, allocating its UPID
-    /// (`uintr_register_handler(2)`).
+    /// (`uintr_register_handler(2)`). Freed slots are reused, but under
+    /// a fresh generation: handles to the previous occupant stay dead.
     pub fn register_receiver(&mut self) -> UpidHandle {
         if let Some(i) = self.upids.iter().position(Option::is_none) {
             self.upids[i] = Some(Upid::default());
-            return UpidHandle(i);
+            return UpidHandle { index: i, gen: self.gens[i] };
         }
         self.upids.push(Some(Upid::default()));
-        UpidHandle(self.upids.len() - 1)
+        self.gens.push(0);
+        UpidHandle { index: self.upids.len() - 1, gen: 0 }
     }
 
-    /// Tears down a receiver (`uintr_unregister_handler(2)`); later sends
-    /// through stale UITT entries fail with [`UintrError::StaleUpid`].
+    /// Tears down a receiver (`uintr_unregister_handler(2)`); later
+    /// sends through stale UITT entries report
+    /// [`SendOutcome::Dropped`] with [`DropReason::Unregistered`], and
+    /// receiver-side operations fail with [`UintrError::StaleUpid`].
     pub fn unregister_receiver(&mut self, h: UpidHandle) {
-        if let Some(u) = self.upids.get_mut(h.0) {
-            *u = None;
+        if self.gens.get(h.index) == Some(&h.gen) {
+            if let Some(u) = self.upids.get_mut(h.index) {
+                if u.take().is_some() {
+                    self.gens[h.index] = self.gens[h.index].wrapping_add(1);
+                }
+            }
         }
     }
 
     fn upid_mut(&mut self, h: UpidHandle) -> Result<&mut Upid, UintrError> {
+        if self.gens.get(h.index) != Some(&h.gen) {
+            return Err(UintrError::StaleUpid);
+        }
         self.upids
-            .get_mut(h.0)
+            .get_mut(h.index)
             .and_then(Option::as_mut)
             .ok_or(UintrError::StaleUpid)
     }
 
-    /// Read-only view of a receiver's UPID.
+    /// Read-only view of a receiver's UPID (`None` once the handle's
+    /// generation is stale).
     pub fn upid(&self, h: UpidHandle) -> Option<&Upid> {
-        self.upids.get(h.0).and_then(Option::as_ref)
+        if self.gens.get(h.index) != Some(&h.gen) {
+            return None;
+        }
+        self.upids.get(h.index).and_then(Option::as_ref)
     }
 
     /// Executes the posting half of `SENDUIPI`: records the vector in
     /// the UPID and decides whether a notification goes out. The caller
     /// translates the outcome into latency using
     /// [`HwCosts`](crate::HwCosts).
+    ///
+    /// A send through a stale entry (the receiver unregistered
+    /// mid-flight) is not an error — the instruction executes and the
+    /// notification goes nowhere — so it reports
+    /// [`SendOutcome::Dropped`] with [`DropReason::Unregistered`]
+    /// instead of silently succeeding or failing the sender.
     pub fn senduipi(
         &mut self,
         entry: UittEntry,
         receiver: ReceiverState,
     ) -> Result<SendOutcome, UintrError> {
-        let upid = self.upid_mut(entry.upid)?;
+        let Ok(upid) = self.upid_mut(entry.upid) else {
+            return Ok(SendOutcome::Dropped { reason: DropReason::Unregistered });
+        };
         upid.pending |= 1u64 << entry.vector;
         if upid.suppress {
             return Ok(SendOutcome::Suppressed);
@@ -271,12 +357,74 @@ impl UintrDomain {
         obs: &mut Observer,
     ) -> Result<SendOutcome, UintrError> {
         let outcome = self.senduipi(entry, receiver)?;
-        obs.emit(at, Event::UipiSent { worker, vector: entry.vector });
-        match outcome {
-            SendOutcome::NotifiedRunning | SendOutcome::Coalesced => {}
-            SendOutcome::NotifiedBlocked => obs.emit(at, Event::KernelAssistWake { worker }),
-            SendOutcome::PendedMasked => obs.emit(at, Event::UipiPended { worker }),
-            SendOutcome::Suppressed => obs.emit(at, Event::UipiSuppressed { worker }),
+        emit_send_events(outcome, entry.vector, worker, at, obs);
+        Ok(outcome)
+    }
+
+    /// [`senduipi`](Self::senduipi) with a pre-sampled fault decision
+    /// applied. The decision comes from
+    /// [`FaultInjector::ipi`](lp_sim::fault::FaultInjector::ipi) — this
+    /// layer stays a pure state machine and never draws randomness.
+    ///
+    /// * `None` — behaves exactly like [`senduipi`](Self::senduipi)
+    ///   (same state transitions, same outcome), so a disabled or
+    ///   rate-0.0 plan is byte-identical to no injector.
+    /// * [`IpiFault::Drop`] — the fabric loses the IPI: no UPID state
+    ///   changes, outcome [`DropReason::Faulted`].
+    /// * [`IpiFault::Delay`] — state transitions are normal; the *caller*
+    ///   stretches the delivery latency by the fault's duration.
+    /// * [`IpiFault::Duplicate`] — the send is issued twice back-to-back;
+    ///   the second coalesces into the first's outstanding notification
+    ///   (the outcome reported is the first send's).
+    /// * [`IpiFault::StuckSn`] — the receiver's `SN` bit sticks set just
+    ///   before the send lands, so the vector records but suppresses.
+    /// * [`IpiFault::StaleNdst`] — the vector posts (and `ON` sets), but
+    ///   the notification is misdirected: [`DropReason::StaleNdst`].
+    pub fn senduipi_with_fault(
+        &mut self,
+        entry: UittEntry,
+        receiver: ReceiverState,
+        fault: Option<IpiFault>,
+    ) -> Result<SendOutcome, UintrError> {
+        match fault {
+            None | Some(IpiFault::Delay(_)) => self.senduipi(entry, receiver),
+            Some(IpiFault::Drop) => Ok(SendOutcome::Dropped { reason: DropReason::Faulted }),
+            Some(IpiFault::Duplicate) => {
+                let first = self.senduipi(entry, receiver)?;
+                let _ = self.senduipi(entry, receiver)?;
+                Ok(first)
+            }
+            Some(IpiFault::StuckSn) => {
+                if let Ok(upid) = self.upid_mut(entry.upid) {
+                    upid.suppress = true;
+                }
+                self.senduipi(entry, receiver)
+            }
+            Some(IpiFault::StaleNdst) => match self.senduipi(entry, receiver)? {
+                SendOutcome::Dropped { reason } => Ok(SendOutcome::Dropped { reason }),
+                _ => Ok(SendOutcome::Dropped { reason: DropReason::StaleNdst }),
+            },
+        }
+    }
+
+    /// [`senduipi_with_fault`](Self::senduipi_with_fault) plus the same
+    /// observability as [`senduipi_observed`](Self::senduipi_observed).
+    /// A dropped send still emits [`Event::UipiSent`] (the instruction
+    /// executed at the sender) but no delivery-side event; the runtime
+    /// emits the corresponding `fault_injected` event itself.
+    pub fn senduipi_with_fault_observed(
+        &mut self,
+        entry: UittEntry,
+        receiver: ReceiverState,
+        fault: Option<IpiFault>,
+        worker: u16,
+        at: SimTime,
+        obs: &mut Observer,
+    ) -> Result<SendOutcome, UintrError> {
+        let outcome = self.senduipi_with_fault(entry, receiver, fault)?;
+        emit_send_events(outcome, entry.vector, worker, at, obs);
+        if matches!(fault, Some(IpiFault::Duplicate)) {
+            obs.emit(at, Event::UipiSent { worker, vector: entry.vector });
         }
         Ok(outcome)
     }
@@ -325,6 +473,21 @@ impl UintrDomain {
     /// `true` if the receiver has pending vectors recorded.
     pub fn has_pending(&self, h: UpidHandle) -> bool {
         self.upid(h).map(|u| u.pending != 0).unwrap_or(false)
+    }
+}
+
+/// The shared event mapping of the observed send paths: every send
+/// emits [`Event::UipiSent`]; non-fast-path outcomes add their marker.
+/// `NotifiedRunning`, `Coalesced` and `Dropped` emit nothing extra
+/// (the drop surfaces through the runtime's `fault_injected` /
+/// watchdog events, not a hardware event).
+fn emit_send_events(outcome: SendOutcome, vector: u8, worker: u16, at: SimTime, obs: &mut Observer) {
+    obs.emit(at, Event::UipiSent { worker, vector });
+    match outcome {
+        SendOutcome::NotifiedRunning | SendOutcome::Coalesced | SendOutcome::Dropped { .. } => {}
+        SendOutcome::NotifiedBlocked => obs.emit(at, Event::KernelAssistWake { worker }),
+        SendOutcome::PendedMasked => obs.emit(at, Event::UipiPended { worker }),
+        SendOutcome::Suppressed => obs.emit(at, Event::UipiSuppressed { worker }),
     }
 }
 
@@ -414,15 +577,37 @@ mod tests {
     }
 
     #[test]
-    fn stale_upid_rejected() {
+    fn stale_upid_send_drops_typed() {
         let (mut dom, uitt, h, idx) = setup();
         dom.unregister_receiver(h);
         let e = uitt.get(idx).unwrap();
+        // Sending through the stale entry is not an error: the
+        // instruction executes and reports where the IPI went (nowhere).
         assert_eq!(
             dom.senduipi(e, ReceiverState::RunningUifSet),
-            Err(UintrError::StaleUpid)
+            Ok(SendOutcome::Dropped { reason: DropReason::Unregistered })
         );
+        // Receiver-side operations on the dead handle still error.
         assert_eq!(dom.acknowledge(h), Err(UintrError::StaleUpid));
+        assert_eq!(dom.set_suppress(h, true), Err(UintrError::StaleUpid));
+        assert!(dom.upid(h).is_none());
+    }
+
+    #[test]
+    fn uitt_purge_clears_all_entries_for_a_receiver() {
+        let mut dom = UintrDomain::new();
+        let a = dom.register_receiver();
+        let b = dom.register_receiver();
+        let mut uitt = Uitt::new();
+        let ia0 = uitt.register(a, 0);
+        let ib = uitt.register(b, 1);
+        let ia7 = uitt.register(a, 7);
+        assert_eq!(uitt.purge_upid(a), 2);
+        assert!(uitt.get(ia0).is_none());
+        assert!(uitt.get(ia7).is_none());
+        assert_eq!(uitt.get(ib).unwrap().upid, b);
+        assert_eq!(uitt.purge_upid(a), 0, "purge is idempotent");
+        assert_eq!(uitt.len(), 1);
     }
 
     #[test]
@@ -492,13 +677,125 @@ mod tests {
     }
 
     #[test]
-    fn upid_handle_reuse_after_unregister() {
+    fn upid_slot_reuse_cannot_alias_old_handles() {
         let mut dom = UintrDomain::new();
         let a = dom.register_receiver();
         dom.unregister_receiver(a);
         let b = dom.register_receiver();
-        // Slot is reused; the new receiver starts clean.
-        assert_eq!(a, b);
+        // The slot is reused, but under a new generation: the old
+        // handle must not alias the new receiver.
+        assert_eq!(a.index(), b.index(), "freed slot must be reused");
+        assert_ne!(a, b, "stale handle must not equal the new one");
+        assert!(dom.upid(a).is_none());
+        assert!(dom.upid(b).is_some());
+        // A send addressed to the dead generation drops; the new
+        // receiver's mailbox stays untouched.
+        let mut uitt = Uitt::new();
+        let stale = uitt.register(a, 1);
+        assert_eq!(
+            dom.senduipi(uitt.get(stale).unwrap(), ReceiverState::RunningUifSet),
+            Ok(SendOutcome::Dropped { reason: DropReason::Unregistered })
+        );
         assert!(!dom.has_pending(b));
+        // Unregistering through the stale handle must not tear down the
+        // new occupant either.
+        dom.unregister_receiver(a);
+        assert!(dom.upid(b).is_some());
+    }
+
+    #[test]
+    fn fault_free_send_matches_plain_send() {
+        let (mut dom, uitt, h, idx) = setup();
+        let (mut dom2, ..) = setup();
+        let e = uitt.get(idx).unwrap();
+        let plain = dom2.senduipi(e, ReceiverState::RunningUifSet).unwrap();
+        let faultless = dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, None).unwrap();
+        assert_eq!(plain, faultless);
+        assert_eq!(dom.upid(h).unwrap().pending, dom2.upid(h).unwrap().pending);
+        assert_eq!(dom.upid(h).unwrap().outstanding, dom2.upid(h).unwrap().outstanding);
+    }
+
+    #[test]
+    fn injected_drop_leaves_no_trace() {
+        use lp_sim::fault::IpiFault;
+        let (mut dom, uitt, h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, Some(IpiFault::Drop)),
+            Ok(SendOutcome::Dropped { reason: DropReason::Faulted })
+        );
+        assert!(!dom.has_pending(h), "a fabric drop must not post the vector");
+        assert!(!dom.upid(h).unwrap().outstanding);
+        // A retry with no fault succeeds normally.
+        assert_eq!(
+            dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, None),
+            Ok(SendOutcome::NotifiedRunning)
+        );
+    }
+
+    #[test]
+    fn injected_stuck_sn_suppresses_until_repaired() {
+        use lp_sim::fault::IpiFault;
+        let (mut dom, uitt, h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, Some(IpiFault::StuckSn)),
+            Ok(SendOutcome::Suppressed)
+        );
+        assert!(dom.has_pending(h));
+        // The watchdog's repair: clear SN, re-send, delivery works.
+        dom.set_suppress(h, false).unwrap();
+        assert_eq!(
+            dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, None),
+            Ok(SendOutcome::NotifiedRunning)
+        );
+        assert_eq!(dom.acknowledge(h).unwrap(), 1 << 3);
+    }
+
+    #[test]
+    fn injected_stale_ndst_posts_but_drops() {
+        use lp_sim::fault::IpiFault;
+        let (mut dom, uitt, h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        assert_eq!(
+            dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, Some(IpiFault::StaleNdst)),
+            Ok(SendOutcome::Dropped { reason: DropReason::StaleNdst })
+        );
+        // The vector posted and ON is set — a retry coalesces (still no
+        // delivery), which is what escalates the watchdog to degrade.
+        assert!(dom.has_pending(h));
+        assert!(dom.upid(h).unwrap().outstanding);
+        assert_eq!(
+            dom.senduipi_with_fault(e, ReceiverState::RunningUifSet, None),
+            Ok(SendOutcome::Coalesced)
+        );
+        // The signal-path fallback's acknowledge drains everything.
+        assert_eq!(dom.acknowledge(h).unwrap(), 1 << 3);
+        assert!(!dom.upid(h).unwrap().outstanding);
+    }
+
+    #[test]
+    fn injected_duplicate_coalesces_and_delivers_once() {
+        use lp_sim::fault::IpiFault;
+        use lp_sim::obs::{Counter, Observer};
+        let (mut dom, uitt, h, idx) = setup();
+        let e = uitt.get(idx).unwrap();
+        let mut obs = Observer::new(16);
+        let out = dom
+            .senduipi_with_fault_observed(
+                e,
+                ReceiverState::RunningUifSet,
+                Some(IpiFault::Duplicate),
+                0,
+                SimTime::from_nanos(10),
+                &mut obs,
+            )
+            .unwrap();
+        assert_eq!(out, SendOutcome::NotifiedRunning);
+        // Two instructions executed, one notification outstanding, one
+        // delivery: duplication is idempotent end to end.
+        assert_eq!(obs.metrics().get(Counter::UipiSent), 2);
+        assert_eq!(dom.acknowledge(h).unwrap(), 1 << 3);
+        assert!(!dom.has_pending(h));
     }
 }

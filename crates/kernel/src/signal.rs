@@ -8,6 +8,7 @@
 //! concurrent waiters (cacheline bouncing), which reproduces both the
 //! uncontended Table IV floor and the contended storm behaviour.
 
+use lp_sim::fault::SignalFault;
 use lp_sim::obs::{Event, Observer};
 use lp_sim::{SimDur, SimTime};
 use rand::rngs::SmallRng;
@@ -72,12 +73,16 @@ impl SignalPath {
     /// Delivers one signal initiated at `now`; serializes on the kernel
     /// lock.
     pub fn deliver(&mut self, now: SimTime) -> SignalDelivery {
+        self.deliver_inner(now, 0)
+    }
+
+    fn deliver_inner(&mut self, now: SimTime, extra_waiters: u32) -> SignalDelivery {
         // New congestion epoch if the lock has been idle since before
         // `now`.
         if self.lock_free_at <= now {
             self.epoch_waiters = 0;
         }
-        self.epoch_waiters += 1;
+        self.epoch_waiters += 1 + extra_waiters;
 
         let lock_wait = self.lock_free_at.saturating_since(now);
         let dilation = 1.0 + self.costs.signal_lock_contention * self.epoch_waiters as f64;
@@ -122,6 +127,46 @@ impl SignalPath {
             },
         );
         d
+    }
+
+    /// [`deliver`](Self::deliver) with a pre-sampled fault decision
+    /// applied. The decision comes from
+    /// [`FaultInjector::signal`](lp_sim::fault::FaultInjector::signal).
+    ///
+    /// * `None` — identical to [`deliver`](Self::deliver) (same lock
+    ///   state transitions, same RNG draws), wrapped in `Some`.
+    /// * [`SignalFault::Lost`] — the signal vanishes before the kernel
+    ///   queues it: no handler runs, no lock state changes, returns
+    ///   `None`; the runtime watchdog recovers the lost preemption.
+    /// * [`SignalFault::ContentionBurst`] — delivery proceeds but sees
+    ///   that many extra waiters in its congestion epoch, inflating the
+    ///   lock hold exactly as a real runqueue-lock storm would.
+    pub fn deliver_with_fault(
+        &mut self,
+        now: SimTime,
+        fault: Option<SignalFault>,
+    ) -> Option<SignalDelivery> {
+        match fault {
+            None => Some(self.deliver(now)),
+            Some(SignalFault::Lost) => None,
+            Some(SignalFault::ContentionBurst(extra)) => Some(self.deliver_inner(now, extra)),
+        }
+    }
+
+    /// [`deliver_with_fault`](Self::deliver_with_fault) plus the
+    /// `signal_sent` event when delivery actually happens. A lost
+    /// signal emits nothing here — the runtime emits the matching
+    /// `fault_injected` event.
+    pub fn deliver_with_fault_observed(
+        &mut self,
+        now: SimTime,
+        fault: Option<SignalFault>,
+        worker: u16,
+        obs: &mut Observer,
+    ) -> Option<SignalDelivery> {
+        let d = self.deliver_with_fault(now, fault)?;
+        obs.emit(now, Event::SignalSent { worker, lock_wait_ns: d.lock_wait.as_nanos() });
+        Some(d)
     }
 }
 
@@ -218,6 +263,55 @@ mod tests {
             Event::SignalSent { worker: 2, lock_wait_ns: second.lock_wait.as_nanos() }
         );
         assert!(second.lock_wait > first.lock_wait);
+    }
+
+    #[test]
+    fn fault_free_delivery_matches_plain_path() {
+        let mut a = path(6);
+        let mut b = path(6);
+        for i in 0..100u64 {
+            let t = SimTime::from_nanos(i * 3_000);
+            assert_eq!(a.deliver_with_fault(t, None), Some(b.deliver(t)));
+        }
+    }
+
+    #[test]
+    fn injected_signal_faults() {
+        use lp_sim::fault::SignalFault;
+        let mut p = path(7);
+        let t = SimTime::from_nanos(1_000);
+        // A lost signal changes nothing: no delivery count, no lock
+        // state, so the next send is uncontended.
+        assert_eq!(p.deliver_with_fault(t, Some(SignalFault::Lost)), None);
+        assert_eq!(p.delivered(), 0);
+        let after = p.deliver(t);
+        assert_eq!(after.lock_wait, SimDur::ZERO);
+        // A contention burst dilates the hold like a real storm.
+        let mut calm = path(8);
+        let mut stormy = path(8);
+        let later = SimTime::from_nanos(50_000_000);
+        let base = calm.deliver(later);
+        let burst = stormy
+            .deliver_with_fault(later, Some(SignalFault::ContentionBurst(16)))
+            .unwrap();
+        assert!(
+            burst.latency > base.latency,
+            "burst {:?} must exceed calm {:?}",
+            burst.latency,
+            base.latency
+        );
+    }
+
+    #[test]
+    fn lost_signal_emits_no_event() {
+        use lp_sim::fault::SignalFault;
+        use lp_sim::obs::{Counter, Observer};
+        let mut p = path(9);
+        let mut obs = Observer::new(4);
+        let out =
+            p.deliver_with_fault_observed(SimTime::ZERO, Some(SignalFault::Lost), 3, &mut obs);
+        assert!(out.is_none());
+        assert_eq!(obs.metrics().get(Counter::SignalsSent), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ([`KernelCosts::timer_floor`], [`KernelCosts::timer_jitter_sigma`],
 //! noise spikes).
 
+use lp_sim::fault::TimerFault;
 use lp_sim::obs::{Event, Observer};
 use lp_sim::{SimDur, SimTime};
 use rand::rngs::SmallRng;
@@ -111,6 +112,53 @@ impl KernelTimer {
         // An expiry can be late, never early.
         delay.max(self.target)
     }
+
+    /// [`sample_expiry`](Self::sample_expiry) with a pre-sampled fault
+    /// decision applied. The decision comes from
+    /// [`FaultInjector::timer`](lp_sim::fault::FaultInjector::timer) —
+    /// this layer never draws fault randomness itself.
+    ///
+    /// * `None` — identical to [`sample_expiry`](Self::sample_expiry)
+    ///   (same RNG draws, same delay), wrapped in `Some`.
+    /// * [`TimerFault::Miss`] — the kernel loses the arming entirely:
+    ///   returns `None` and consumes no expiry randomness; the caller
+    ///   must not schedule a fire (the runtime watchdog recovers).
+    /// * [`TimerFault::JitterSpike`] — a normal expiry, late by the
+    ///   spike duration.
+    /// * [`TimerFault::Spurious`] — a normal expiry; the *caller*
+    ///   additionally schedules one extra, spurious fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer is not armed.
+    pub fn sample_expiry_with_fault(&mut self, fault: Option<TimerFault>) -> Option<SimDur> {
+        assert!(self.armed, "sampling expiry of a disarmed timer");
+        match fault {
+            None | Some(TimerFault::Spurious) => Some(self.sample_expiry()),
+            Some(TimerFault::Miss) => None,
+            Some(TimerFault::JitterSpike(extra)) => Some(self.sample_expiry() + extra),
+        }
+    }
+
+    /// [`sample_expiry_with_fault`](Self::sample_expiry_with_fault) plus
+    /// the `ktimer_fired` event when an expiry actually fires. A missed
+    /// expiry emits nothing here — the runtime emits the matching
+    /// `fault_injected` event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer is not armed.
+    pub fn sample_expiry_with_fault_observed(
+        &mut self,
+        fault: Option<TimerFault>,
+        worker: u16,
+        at: SimTime,
+        obs: &mut Observer,
+    ) -> Option<SimDur> {
+        let delay = self.sample_expiry_with_fault(fault)?;
+        obs.emit(at + delay, Event::KtimerFired { worker });
+        Some(delay)
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +241,61 @@ mod tests {
     #[should_panic(expected = "disarmed timer")]
     fn sampling_disarmed_panics() {
         timer(5).sample_expiry();
+    }
+
+    #[test]
+    fn fault_free_expiry_matches_plain_sampling() {
+        // Same seed, no fault: the `_with_fault` path must consume the
+        // RNG identically to the plain one.
+        let mut a = timer(8);
+        let mut b = timer(8);
+        a.arm(SimDur::micros(60));
+        b.arm(SimDur::micros(60));
+        for _ in 0..500 {
+            assert_eq!(a.sample_expiry_with_fault(None), Some(b.sample_expiry()));
+        }
+    }
+
+    #[test]
+    fn injected_timer_faults() {
+        use lp_sim::fault::TimerFault;
+        let mut t = timer(9);
+        t.arm(SimDur::micros(60));
+        // A miss never fires and leaves the timer armed for re-use.
+        assert_eq!(t.sample_expiry_with_fault(Some(TimerFault::Miss)), None);
+        assert!(t.is_armed());
+        // A spike is a normal expiry pushed later by exactly the spike.
+        let mut u = timer(10);
+        let mut v = timer(10);
+        u.arm(SimDur::micros(60));
+        v.arm(SimDur::micros(60));
+        let plain = v.sample_expiry();
+        let spiked = u
+            .sample_expiry_with_fault(Some(TimerFault::JitterSpike(SimDur::micros(40))))
+            .unwrap();
+        assert_eq!(spiked, plain + SimDur::micros(40));
+        // Spurious fires normally (the extra fire is the caller's job).
+        let mut w = timer(10);
+        w.arm(SimDur::micros(60));
+        assert_eq!(w.sample_expiry_with_fault(Some(TimerFault::Spurious)), Some(plain));
+    }
+
+    #[test]
+    fn missed_expiry_emits_no_fire_event() {
+        use lp_sim::fault::TimerFault;
+        use lp_sim::obs::{Counter, Observer};
+        let mut t = timer(11);
+        let mut obs = Observer::new(4);
+        t.arm_observed(SimDur::micros(30), 2, SimTime::ZERO, &mut obs);
+        let fired = t.sample_expiry_with_fault_observed(
+            Some(TimerFault::Miss),
+            2,
+            SimTime::ZERO,
+            &mut obs,
+        );
+        assert_eq!(fired, None);
+        assert_eq!(obs.metrics().get(Counter::KtimersArmed), 1);
+        assert_eq!(obs.metrics().get(Counter::KtimersFired), 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod adaptive;
 pub mod context;
 pub mod policy;
 pub mod report;
+pub mod retry;
 pub mod runtime;
 pub mod utimer;
 
@@ -55,4 +56,5 @@ pub use policy::{
     RoundRobin, SrptOracle,
 };
 pub use report::RunReport;
+pub use retry::{Backoff, WatchdogConfig};
 pub use runtime::{run, LibPreemptibleSystem, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};

@@ -1,0 +1,121 @@
+//! Retry policy for the lost-preemption watchdog.
+//!
+//! Under fault injection (`lp_sim::fault`) a `SENDUIPI`, kernel-timer
+//! expiry, or signal can silently vanish. The runtime arms a watchdog
+//! deadline for every preemption it issues; when the deadline passes
+//! with the victim still running the same task, the preemption is
+//! declared lost and re-sent under the capped exponential backoff
+//! defined here. After [`WatchdogConfig::degrade_after`] consecutive
+//! losses the worker's mechanism is degraded from user interrupts to
+//! the kernel signal path, and every
+//! [`WatchdogConfig::probe_every`]-th degraded preemption probes the
+//! UINTR path again so the worker recovers once the fabric heals (see
+//! `docs/FAULTS.md` for the full state machine).
+
+use lp_sim::SimDur;
+
+/// Capped exponential backoff: attempt `n` waits `base * 2^n`, never
+/// more than `cap`.
+///
+/// ```
+/// use libpreemptible::retry::Backoff;
+/// use lp_sim::SimDur;
+/// let b = Backoff::new(SimDur::micros(5), SimDur::micros(40));
+/// assert_eq!(b.delay(0), SimDur::micros(5));
+/// assert_eq!(b.delay(2), SimDur::micros(20));
+/// assert_eq!(b.delay(10), SimDur::micros(40)); // capped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: SimDur,
+    cap: SimDur,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, doubling per attempt, capped at
+    /// `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < base`.
+    pub fn new(base: SimDur, cap: SimDur) -> Self {
+        assert!(cap >= base, "backoff cap {cap} below base {base}");
+        Backoff { base, cap }
+    }
+
+    /// Delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> SimDur {
+        let mult = 1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX);
+        let ns = self.base.as_nanos().saturating_mul(mult);
+        SimDur::nanos(ns).min(self.cap)
+    }
+}
+
+/// Watchdog parameters for the self-healing preemption path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How long after issuing a preemption the runtime waits for it to
+    /// land before declaring it lost. Must exceed the worst-case
+    /// healthy delivery latency of the mechanism in use, or healthy
+    /// deliveries race their own retries (the seq check makes the race
+    /// harmless — the loser is a spurious handler run — but it wastes
+    /// cycles).
+    pub timeout: SimDur,
+    /// Consecutive losses on the UINTR path before the worker degrades
+    /// to signal delivery.
+    pub degrade_after: u32,
+    /// While degraded, every this-many-th preemption is sent through
+    /// UINTR as a probe; a probe that lands recovers the worker.
+    pub probe_every: u32,
+    /// Retry schedule for re-sending a lost preemption.
+    pub backoff: Backoff,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            timeout: SimDur::micros(50),
+            degrade_after: 3,
+            probe_every: 8,
+            backoff: Backoff::new(SimDur::micros(5), SimDur::micros(80)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let b = Backoff::new(SimDur::micros(2), SimDur::micros(30));
+        assert_eq!(b.delay(0), SimDur::micros(2));
+        assert_eq!(b.delay(1), SimDur::micros(4));
+        assert_eq!(b.delay(3), SimDur::micros(16));
+        assert_eq!(b.delay(4), SimDur::micros(30));
+        assert_eq!(b.delay(63), SimDur::micros(30));
+        assert_eq!(b.delay(u32::MAX), SimDur::micros(30));
+    }
+
+    #[test]
+    fn zero_base_stays_zero() {
+        let b = Backoff::new(SimDur::ZERO, SimDur::micros(1));
+        assert_eq!(b.delay(0), SimDur::ZERO);
+        assert_eq!(b.delay(40), SimDur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "below base")]
+    fn cap_below_base_rejected() {
+        Backoff::new(SimDur::micros(10), SimDur::micros(5));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let wd = WatchdogConfig::default();
+        assert!(wd.timeout > SimDur::ZERO);
+        assert!(wd.degrade_after >= 1);
+        assert!(wd.probe_every >= 1);
+        assert!(wd.backoff.delay(0) <= wd.timeout);
+    }
+}

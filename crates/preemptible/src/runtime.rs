@@ -23,9 +23,11 @@
 
 use std::collections::VecDeque;
 
+use lp_hw::cpu::HogWindow;
 use lp_hw::uintr::{ReceiverState, SendOutcome, UintrDomain, Uitt};
 use lp_hw::{CoreClock, HwCosts, TimeClass};
 use lp_kernel::{KernelCosts, KernelTimer, SignalPath};
+use lp_sim::fault::{CoreFault, FaultInjector, FaultPlan, IpiFault, TimerFault};
 use lp_sim::obs::{Event, Observer};
 use lp_sim::rng::{rng, streams};
 use lp_sim::{Ctx, EventId, Model, SimDur, SimTime, Simulation};
@@ -36,6 +38,7 @@ use rand::rngs::SmallRng;
 use crate::context::{ContextId, ContextPool};
 use crate::policy::{NextTask, Policy, ResumeOrder};
 use crate::report::RunReport;
+use crate::retry::WatchdogConfig;
 use crate::utimer::{SlotId, UtimerRegistry};
 
 /// How workers get preempted.
@@ -135,6 +138,14 @@ pub struct RuntimeConfig {
     /// counters in [`RunReport::metrics`](crate::RunReport) are always
     /// collected.
     pub trace_capacity: usize,
+    /// Fault-injection plan (see `lp_sim::fault` and `docs/FAULTS.md`).
+    /// The default plan is disabled, in which case no injector is
+    /// built, no watchdog events are scheduled, and the run is
+    /// byte-identical to one without the fault subsystem.
+    pub faults: FaultPlan,
+    /// Lost-preemption watchdog parameters; consulted only when
+    /// [`faults`](Self::faults) is enabled.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -154,6 +165,8 @@ impl Default for RuntimeConfig {
             series_frame: None,
             slo: None,
             trace_capacity: 0,
+            faults: FaultPlan::disabled(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -175,10 +188,19 @@ pub enum Ev {
     TimerCheck,
     /// A per-thread kernel timer armed under `seq` expired.
     KtimerExpiry { worker: usize, seq: u64 },
-    /// The preemption notification lands on worker `w`.
-    PreemptArrive { worker: usize, seq: u64 },
+    /// The preemption notification lands on worker `w`. `uintr` records
+    /// whether it travelled the user-interrupt path (recovery probes
+    /// need delivery-path attribution).
+    PreemptArrive { worker: usize, seq: u64, uintr: bool },
     /// Control period boundary: roll stats, run the controller.
     ControlTick,
+    /// A scheduled lost-preemption check, armed only for retry sends
+    /// (attempt > 0): once a loss is detected the streak advances on
+    /// the deterministic backoff cadence instead of waiting for the
+    /// next organic event or scan tick. The healthy path (attempt 0)
+    /// never schedules one, so a fault-free run stays event-identical
+    /// to a run without the fault subsystem.
+    WatchdogCheck,
 }
 
 #[derive(Debug)]
@@ -192,6 +214,17 @@ enum WState {
     },
 }
 
+/// One armed lost-preemption deadline: the send issued for `seq`
+/// (attempt `attempt`) must be observed landed by `at` or the watchdog
+/// re-sends it. Kept per worker (the latest send wins) instead of as a
+/// per-send event so the healthy path stays cheap.
+#[derive(Debug, Clone, Copy)]
+struct WdArm {
+    at: SimTime,
+    seq: u64,
+    attempt: u32,
+}
+
 struct Worker {
     state: WState,
     local: VecDeque<ContextId>,
@@ -202,6 +235,24 @@ struct Worker {
     /// by comparing against this.
     seq: u64,
     ktimer: KernelTimer,
+    /// Fault-injected stall window; preemption arrivals are deferred
+    /// past it. Always closed when injection is disabled.
+    hog: HogWindow,
+    /// Consecutive lost preemptions seen by the watchdog.
+    losses: u32,
+    /// `true` once the worker fell back from UINTR to signal delivery.
+    degraded: bool,
+    /// Preemptions sent while degraded (drives the probe cadence).
+    degraded_sends: u64,
+    /// Run sequence of the in-flight UINTR recovery probe, if any. A
+    /// probe succeeds only when its own arrival comes back over UINTR —
+    /// a signal retry or task finish advancing the sequence is not
+    /// evidence the fast path healed.
+    probe_for: Option<u64>,
+    /// The armed lost-preemption deadline, if injection is enabled and
+    /// a send is outstanding. Observed by the throttled scan driven
+    /// from the event loop (see [`Model::handle`]).
+    wd: Option<WdArm>,
 }
 
 struct PendingReq {
@@ -224,12 +275,27 @@ pub struct LibPreemptibleSystem {
     /// (worker, seq) the armed deadline of each slot belongs to.
     armed_for: Vec<Option<(usize, u64)>>,
     timer_check: Option<(SimTime, EventId)>,
+    /// Next lost-preemption scan tick, in nanos (`u64::MAX` when
+    /// injection is disabled). Checked with one compare at the top of
+    /// every handled event; arming and settling deadlines are plain
+    /// field stores, so the healthy path pays no per-send bookkeeping
+    /// at all. A worker with an armed deadline is always `Running`, so
+    /// its own `Finish` (at the latest) keeps events flowing until the
+    /// scan runs.
+    wd_scan_at: u64,
+    /// Scan cadence (half the watchdog timeout): bounds detection
+    /// lateness to `timeout * 1.5` after the send without making the
+    /// scan rate scale with the send rate.
+    wd_scan_period: u64,
     timer_clock: CoreClock,
 
     arrivals_gen: ArrivalGen,
     service_rng: SmallRng,
     hw_rng: SmallRng,
     signal_path: SignalPath,
+    /// Present iff `cfg.faults.enabled()`; every fault decision in the
+    /// run is sampled here and passed down to hw/kernel as data.
+    injector: Option<FaultInjector>,
 
     dispatch_free_at: SimTime,
     dispatch_queue: VecDeque<PendingReq>,
@@ -280,6 +346,12 @@ impl LibPreemptibleSystem {
                     clock: CoreClock::new(),
                     seq: 0,
                     ktimer: KernelTimer::new(cfg.kernel.clone(), rng(cfg.seed, 100 + slot.index() as u64)),
+                    hog: HogWindow::none(),
+                    losses: 0,
+                    degraded: false,
+                    degraded_sends: 0,
+                    probe_for: None,
+                    wd: None,
                 }
             })
             .collect();
@@ -290,12 +362,18 @@ impl LibPreemptibleSystem {
             service_rng: rng(cfg.seed, streams::SERVICE),
             hw_rng: rng(cfg.seed, streams::HW_JITTER),
             signal_path: SignalPath::new(cfg.kernel.clone(), rng(cfg.seed, streams::KERNEL_JITTER)),
+            injector: cfg
+                .faults
+                .enabled()
+                .then(|| FaultInjector::new(cfg.faults.clone(), cfg.seed)),
             pool: ContextPool::with_capacity(cfg.pool_capacity),
             registry,
             uintr,
             timer_uitt,
             armed_for,
             timer_check: None,
+            wd_scan_at: if cfg.faults.enabled() { 0 } else { u64::MAX },
+            wd_scan_period: (cfg.watchdog.timeout.as_nanos() / 2).max(1),
             timer_clock: CoreClock::new(),
             dispatch_free_at: SimTime::ZERO,
             dispatch_queue: VecDeque::new(),
@@ -406,15 +484,49 @@ impl LibPreemptibleSystem {
                 self.cfg.hw.deadline_arm
             }
             PreemptMech::KernelTimerSignal => {
+                let fault = self.injector.as_mut().and_then(|i| i.timer());
+                if let Some(f) = fault {
+                    self.obs.emit(
+                        start,
+                        Event::FaultInjected { worker: worker as u16, kind: f.kind() as u8 },
+                    );
+                }
                 let w = &mut self.workers[worker];
                 w.ktimer.arm_observed(q, worker as u16, start, &mut self.obs);
                 // The hardware timer fires regardless of whether the
                 // expiry turns out stale: record it at the fire instant.
-                let actual = w
-                    .ktimer
-                    .sample_expiry_observed(worker as u16, start, &mut self.obs);
+                let actual = w.ktimer.sample_expiry_with_fault_observed(
+                    fault,
+                    worker as u16,
+                    start,
+                    &mut self.obs,
+                );
                 let cost = w.ktimer.arm_cost();
-                ctx.at(start + actual, Ev::KtimerExpiry { worker, seq });
+                match actual {
+                    Some(delay) => {
+                        ctx.at(start + delay, Ev::KtimerExpiry { worker, seq });
+                        if matches!(fault, Some(TimerFault::Spurious)) {
+                            // The extra fire lands after the real one has
+                            // been handled, so its sequence number is
+                            // guaranteed stale: the handler runs for
+                            // nothing (`spurious_preempt`).
+                            ctx.at(
+                                start + delay + delay,
+                                Ev::PreemptArrive { worker, seq: u64::MAX, uintr: false },
+                            );
+                        }
+                        if self.injector.is_some() {
+                            self.arm_watchdog(worker, seq, start + delay, 0, ctx);
+                        }
+                    }
+                    None => {
+                        // The kernel lost the arming: no expiry will ever
+                        // fire. The watchdog recovers from roughly where
+                        // the fire should have been.
+                        let expected = q.max(self.cfg.kernel.timer_floor);
+                        self.arm_watchdog(worker, seq, start + expected, 0, ctx);
+                    }
+                }
                 cost
             }
             PreemptMech::None => SimDur::ZERO,
@@ -490,6 +602,22 @@ impl LibPreemptibleSystem {
                 .clock
                 .charge_observed(TimeClass::Kernel, arm_extra, &mut self.obs);
             start += arm_extra;
+        }
+
+        let mut remaining = remaining;
+        if let Some(CoreFault::Hog(stall)) = self.injector.as_mut().and_then(|i| i.core()) {
+            // The core stalls mid-slice: the fiber burns `stall` extra
+            // on-CPU time and no preemption can land inside the window.
+            self.obs.emit(
+                start,
+                Event::FaultInjected {
+                    worker: worker as u16,
+                    kind: lp_sim::fault::FaultKind::CoreHog as u8,
+                },
+            );
+            self.workers[worker].hog.begin(start, stall);
+            self.pool.get_mut(id).remaining += stall;
+            remaining += stall;
         }
 
         let finish_ev = ctx.at(start + remaining, Ev::Finish {
@@ -579,52 +707,37 @@ impl LibPreemptibleSystem {
             };
             match self.cfg.mech {
                 PreemptMech::Uintr => {
-                    // The timer core executes SENDUIPI per target,
-                    // serially.
-                    let issue = self.jitter(self.cfg.hw.senduipi_issue);
-                    issue_at += issue;
-                    self.timer_clock
-                        .charge_observed(TimeClass::Preemption, issue, &mut self.obs);
-                    let entry = self
-                        .timer_uitt
-                        .get(self.workers[worker].uitt_index)
-                        .expect("timer UITT entry");
-                    // Workers are on-CPU; the architectural fast path.
-                    let outcome = self
-                        .uintr
-                        .senduipi_observed(
-                            entry,
-                            ReceiverState::RunningUifSet,
-                            worker as u16,
-                            issue_at,
-                            &mut self.obs,
-                        )
-                        .expect("live UPID");
-                    debug_assert_eq!(outcome, SendOutcome::NotifiedRunning);
-                    let delivery = self.jitter(self.cfg.hw.uintr_delivery_running);
-                    // The PUIR is acknowledged the instant the interrupt
-                    // lands; stamp the delivery event there so the trace
-                    // reads in causal order.
-                    self.uintr
-                        .acknowledge_observed(
-                            entry.upid,
-                            worker as u16,
-                            issue_at + delivery,
-                            &mut self.obs,
-                        )
-                        .expect("live UPID");
-                    ctx.at(issue_at + delivery, Ev::PreemptArrive { worker, seq });
+                    let probe = if self.workers[worker].degraded {
+                        let w = &mut self.workers[worker];
+                        w.degraded_sends += 1;
+                        w.degraded_sends % u64::from(self.cfg.watchdog.probe_every) == 0
+                    } else {
+                        false
+                    };
+                    if self.workers[worker].degraded && !probe {
+                        // Degraded worker: the timer core tgkill()s it
+                        // instead of trusting the broken UINTR path.
+                        self.send_preempt_signal(worker, seq, issue_at, 0, ctx);
+                        issue_at += self.cfg.kernel.syscall;
+                    } else {
+                        // The timer core executes SENDUIPI per target,
+                        // serially. A degraded worker gets here only on
+                        // its probe turns.
+                        let issue = self.jitter(self.cfg.hw.senduipi_issue);
+                        issue_at += issue;
+                        self.timer_clock
+                            .charge_observed(TimeClass::Preemption, issue, &mut self.obs);
+                        if probe {
+                            self.workers[worker].probe_for = Some(seq);
+                        }
+                        self.send_preempt_uipi(worker, seq, issue_at, 0, probe, ctx);
+                    }
                 }
                 PreemptMech::TimerCoreSignal => {
                     // The timer core tgkill()s the worker; the kernel
                     // signal path serializes and jitters delivery.
-                    let d = self
-                        .signal_path
-                        .deliver_observed(issue_at, worker as u16, &mut self.obs);
+                    self.send_preempt_signal(worker, seq, issue_at, 0, ctx);
                     issue_at += self.cfg.kernel.syscall;
-                    self.timer_clock
-                        .charge_observed(TimeClass::Preemption, d.sender_busy, &mut self.obs);
-                    ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq });
                 }
                 _ => unreachable!("timer core disabled for {:?}", self.cfg.mech),
             }
@@ -632,10 +745,273 @@ impl LibPreemptibleSystem {
         self.update_timer_check(ctx);
     }
 
-    fn handle_preempt_arrive(&mut self, worker: usize, seq: u64, ctx: &mut Ctx<'_, Ev>) {
+    /// Sends one preemption over UINTR at `at` (the `SENDUIPI` retire
+    /// instant), applying a freshly sampled fault decision, and arms the
+    /// watchdog when injection is enabled. `repair` clears the
+    /// receiver's `SN` bit first — retries and probes use it to undo a
+    /// stuck-suppress fault.
+    fn send_preempt_uipi(
+        &mut self,
+        worker: usize,
+        seq: u64,
+        at: SimTime,
+        attempt: u32,
+        repair: bool,
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
+        let fault = self.injector.as_mut().and_then(|i| i.ipi());
+        if let Some(f) = fault {
+            self.obs.emit(
+                at,
+                Event::FaultInjected { worker: worker as u16, kind: f.kind() as u8 },
+            );
+        }
+        let entry = self
+            .timer_uitt
+            .get(self.workers[worker].uitt_index)
+            .expect("timer UITT entry");
+        if repair {
+            let _ = self.uintr.set_suppress(entry.upid, false);
+        }
+        // Workers are on-CPU; the architectural fast path.
+        let outcome = self
+            .uintr
+            .senduipi_with_fault_observed(
+                entry,
+                ReceiverState::RunningUifSet,
+                fault,
+                worker as u16,
+                at,
+                &mut self.obs,
+            )
+            .expect("live UPID");
+        if outcome == SendOutcome::NotifiedRunning {
+            let mut delivery = self.jitter(self.cfg.hw.uintr_delivery_running);
+            if let Some(IpiFault::Delay(extra)) = fault {
+                delivery += extra;
+            }
+            // The PUIR is acknowledged the instant the interrupt
+            // lands; stamp the delivery event there so the trace
+            // reads in causal order.
+            self.uintr
+                .acknowledge_observed(entry.upid, worker as u16, at + delivery, &mut self.obs)
+                .expect("live UPID");
+            ctx.at(at + delivery, Ev::PreemptArrive { worker, seq, uintr: true });
+        }
+        // Any other outcome is a lost preemption; the watchdog notices.
+        if self.injector.is_some() {
+            self.arm_watchdog(worker, seq, at, attempt, ctx);
+        }
+    }
+
+    /// Sends one preemption through the kernel signal path at `at`,
+    /// applying a freshly sampled fault decision, and arms the watchdog
+    /// when injection is enabled. Used by the `TimerCoreSignal` and
+    /// `KernelTimerSignal` retries, and by degraded-UINTR workers.
+    fn send_preempt_signal(
+        &mut self,
+        worker: usize,
+        seq: u64,
+        at: SimTime,
+        attempt: u32,
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
+        let fault = self.injector.as_mut().and_then(|i| i.signal());
+        if let Some(f) = fault {
+            self.obs.emit(
+                at,
+                Event::FaultInjected { worker: worker as u16, kind: f.kind() as u8 },
+            );
+        }
+        if self.cfg.mech == PreemptMech::Uintr {
+            // The signal handler of a degraded worker drains whatever
+            // the failed UINTR sends left posted in the UPID (e.g. a
+            // stale-NDST vector whose `ON` bit blocks later probes).
+            let entry = self
+                .timer_uitt
+                .get(self.workers[worker].uitt_index)
+                .expect("timer UITT entry");
+            if self
+                .uintr
+                .upid(entry.upid)
+                .is_some_and(|u| u.outstanding || u.pending != 0)
+            {
+                let _ = self.uintr.acknowledge(entry.upid);
+            }
+        }
+        if let Some(d) =
+            self.signal_path
+                .deliver_with_fault_observed(at, fault, worker as u16, &mut self.obs)
+        {
+            if self.cfg.mech.needs_timer_core() {
+                self.timer_clock
+                    .charge_observed(TimeClass::Preemption, d.sender_busy, &mut self.obs);
+            } else {
+                // No timer core: the kernel's send work lands on the
+                // victim's own core.
+                self.workers[worker].clock.charge_observed(
+                    TimeClass::Kernel,
+                    d.sender_busy,
+                    &mut self.obs,
+                );
+            }
+            ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq, uintr: false });
+        }
+        // A lost signal schedules nothing; the watchdog recovers it.
+        if self.injector.is_some() {
+            self.arm_watchdog(worker, seq, at, attempt, ctx);
+        }
+    }
+
+    /// Arms the lost-preemption deadline for a send issued at `issued`.
+    /// Callers gate on `self.injector.is_some()` so disabled runs
+    /// record nothing. For first sends (attempt 0 — the healthy path)
+    /// the deadline lives in the worker (latest send wins): one field
+    /// store, no event, no heap traffic, no global bookkeeping. The
+    /// throttled scan driven from [`Model::handle`] notices a deadline
+    /// within half a timeout of it passing — an armed deadline implies
+    /// its victim is `Running`, so at least that worker's `Finish` is
+    /// always pending and a due deadline can never sleep past the end
+    /// of the run. Retries (attempt > 0) are already on the faulty
+    /// path, so they also schedule a precise [`Ev::WatchdogCheck`]:
+    /// once a loss streak starts it advances on the backoff cadence,
+    /// not the accident of scan or event timing.
+    #[inline]
+    fn arm_watchdog(
+        &mut self,
+        worker: usize,
+        seq: u64,
+        issued: SimTime,
+        attempt: u32,
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
+        let at = issued + self.cfg.watchdog.timeout;
+        self.workers[worker].wd = Some(WdArm { at, seq, attempt });
+        if attempt > 0 {
+            ctx.at(at, Ev::WatchdogCheck);
+        }
+    }
+
+    /// Runs the lost-preemption check for every worker whose armed
+    /// deadline passed, then schedules the next scan tick. Called from
+    /// the event loop whenever the sim clock reaches `wd_scan_at`, and
+    /// directly by [`Ev::WatchdogCheck`] retry events; safe to call
+    /// early or repeatedly (due deadlines are taken before their
+    /// checks run, and a scan that finds nothing due is four loads).
+    #[cold]
+    fn check_watchdogs(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
+        for worker in 0..self.workers.len() {
+            let due = match self.workers[worker].wd {
+                Some(a) if a.at <= now => {
+                    self.workers[worker].wd = None;
+                    Some(a)
+                }
+                _ => None,
+            };
+            if let Some(a) = due {
+                self.handle_watchdog(worker, a.seq, a.attempt, ctx);
+            }
+        }
+        self.wd_scan_at = now.as_nanos() + self.wd_scan_period;
+    }
+
+    /// The watchdog deadline for the preemption issued under `seq`
+    /// passed. If the victim moved on (preempted or finished) the send
+    /// landed: record the success and possibly complete a recovery
+    /// probe. Otherwise the preemption is lost: re-send with capped
+    /// exponential backoff, degrading to the signal path after enough
+    /// consecutive losses.
+    #[cold]
+    fn handle_watchdog(&mut self, worker: usize, seq: u64, attempt: u32, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let lost = self.workers[worker].seq == seq
+            && matches!(self.workers[worker].state, WState::Running { .. });
+        if !lost {
+            let w = &mut self.workers[worker];
+            w.losses = 0;
+            if w.probe_for == Some(seq) {
+                // The probe's run ended without a UINTR arrival (the
+                // preemption landed another way, or the task finished):
+                // no verdict either way, drop it.
+                w.probe_for = None;
+            }
+            return;
+        }
+        let w = &mut self.workers[worker];
+        w.losses += 1;
+        let losses = w.losses;
+        let was_probe = w.probe_for == Some(seq);
+        if was_probe {
+            w.probe_for = None;
+        }
+        if self.cfg.mech == PreemptMech::Uintr
+            && !self.workers[worker].degraded
+            && losses >= self.cfg.watchdog.degrade_after
+        {
+            let w = &mut self.workers[worker];
+            w.degraded = true;
+            w.degraded_sends = 0;
+            self.obs.emit(
+                now,
+                Event::MechDegraded {
+                    worker: worker as u16,
+                    losses: losses.min(u32::from(u8::MAX)) as u8,
+                },
+            );
+            self.send_preempt_signal(worker, seq, now, attempt + 1, ctx);
+            return;
+        }
+        let delay = self.cfg.watchdog.backoff.delay(attempt);
+        self.obs.emit(
+            now,
+            Event::PreemptRetry {
+                worker: worker as u16,
+                attempt: attempt.min(u32::from(u8::MAX)) as u8,
+                delay_ns: delay.as_nanos(),
+            },
+        );
+        let at = now + delay;
+        if self.cfg.mech == PreemptMech::Uintr && !was_probe && !self.workers[worker].degraded {
+            self.send_preempt_uipi(worker, seq, at, attempt + 1, true, ctx);
+        } else {
+            // Degraded workers, failed probes, and the signal-based
+            // mechanisms all retry through the kernel signal path.
+            self.send_preempt_signal(worker, seq, at, attempt + 1, ctx);
+        }
+    }
+
+    fn handle_preempt_arrive(
+        &mut self,
+        worker: usize,
+        seq: u64,
+        uintr: bool,
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
+        let now = ctx.now();
+        if self.workers[worker].hog.active(now) {
+            // Fault-injected core stall: the interrupt cannot be
+            // serviced until the window closes. `defer` is strictly
+            // after `now` while the window is active.
+            let at = self.workers[worker].hog.defer(now);
+            ctx.at(at, Ev::PreemptArrive { worker, seq, uintr });
+            return;
+        }
         let recv_cost = self.preempt_receive_cost();
         let w_seq = self.workers[worker].seq;
+        let current = w_seq == seq && matches!(self.workers[worker].state, WState::Running { .. });
+        if current && uintr && self.workers[worker].probe_for == Some(seq) {
+            // The recovery probe came back over the user-interrupt
+            // path: the fabric healed.
+            let w = &mut self.workers[worker];
+            w.probe_for = None;
+            w.losses = 0;
+            if w.degraded {
+                w.degraded = false;
+                w.degraded_sends = 0;
+                self.obs.emit(now, Event::MechRecovered { worker: worker as u16 });
+            }
+        }
         match &mut self.workers[worker].state {
             WState::Running {
                 ctx: id,
@@ -657,6 +1033,19 @@ impl LibPreemptibleSystem {
                 );
                 w.seq += 1;
                 w.state = WState::Idle;
+                // The send landed: retire its watchdog deadline before
+                // the next send overwrites it (the sweep would only see
+                // the overwrite), keeping the loss streak strictly
+                // consecutive. A probe that landed here over the signal
+                // path yields no verdict on the fast path — drop it
+                // (the UINTR case already recovered above).
+                w.losses = 0;
+                if w.wd.is_some_and(|a| a.seq == seq) {
+                    w.wd = None;
+                }
+                if w.probe_for == Some(seq) {
+                    w.probe_for = None;
+                }
                 {
                     let c = self.pool.get_mut(id);
                     c.remaining = c.remaining.saturating_sub(executed);
@@ -765,8 +1154,20 @@ impl LibPreemptibleSystem {
             },
         );
         self.record_completion(arrived, class, total, now);
-        self.workers[worker].seq += 1;
-        self.workers[worker].state = WState::Idle;
+        let w = &mut self.workers[worker];
+        w.seq += 1;
+        w.state = WState::Idle;
+        // A natural finish settles any outstanding send for this run:
+        // the watchdog cannot tell a lost preemption from one that
+        // raced completion, so the loss streak resets (retire the
+        // deadline here for the same overwrite reason as on arrival).
+        w.losses = 0;
+        if w.wd.is_some_and(|a| a.seq == seq) {
+            w.wd = None;
+        }
+        if w.probe_for == Some(seq) {
+            w.probe_for = None;
+        }
         ctx.immediately(Ev::Pick { worker });
     }
 }
@@ -775,6 +1176,17 @@ impl Model for LibPreemptibleSystem {
     type Event = Ev;
 
     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        // Lost-preemption watchdogs piggyback on the event stream: one
+        // compare per event against a throttled scan tick, so the
+        // healthy path pays no per-send heap traffic or bookkeeping at
+        // all. An armed deadline's victim is `Running`, so its `Finish`
+        // event (at the latest) is always pending and a due check
+        // cannot starve — detection lands within half a timeout of the
+        // deadline whenever events flow, and retries sharpen that with
+        // their own scheduled checks.
+        if ctx.now().as_nanos() >= self.wd_scan_at {
+            self.check_watchdogs(ctx);
+        }
         match ev {
             Ev::Arrival => {
                 let now = ctx.now();
@@ -837,20 +1249,39 @@ impl Model for LibPreemptibleSystem {
                 if self.workers[worker].seq == seq
                     && matches!(self.workers[worker].state, WState::Running { .. })
                 {
-                    let d = self
-                        .signal_path
-                        .deliver_observed(ctx.now(), worker as u16, &mut self.obs);
+                    let now = ctx.now();
+                    let fault = self.injector.as_mut().and_then(|i| i.signal());
+                    if let Some(f) = fault {
+                        self.obs.emit(
+                            now,
+                            Event::FaultInjected { worker: worker as u16, kind: f.kind() as u8 },
+                        );
+                    }
                     // Sender is the kernel timer softirq: charge kernel
-                    // time to the victim's core.
-                    self.workers[worker].clock.charge_observed(
-                        TimeClass::Kernel,
-                        d.sender_busy,
+                    // time to the victim's core. A lost signal schedules
+                    // nothing — the watchdog armed at the expiry instant
+                    // recovers it.
+                    if let Some(d) = self.signal_path.deliver_with_fault_observed(
+                        now,
+                        fault,
+                        worker as u16,
                         &mut self.obs,
-                    );
-                    ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq });
+                    ) {
+                        self.workers[worker].clock.charge_observed(
+                            TimeClass::Kernel,
+                            d.sender_busy,
+                            &mut self.obs,
+                        );
+                        ctx.at(d.handler_start, Ev::PreemptArrive { worker, seq, uintr: false });
+                    }
                 }
             }
-            Ev::PreemptArrive { worker, seq } => self.handle_preempt_arrive(worker, seq, ctx),
+            Ev::PreemptArrive { worker, seq, uintr } => {
+                self.handle_preempt_arrive(worker, seq, uintr, ctx)
+            }
+            // Retry deadlines check precisely, independent of the
+            // throttled scan cadence.
+            Ev::WatchdogCheck => self.check_watchdogs(ctx),
             Ev::ControlTick => {
                 let now = ctx.now();
                 let summary = self.window.roll(now.as_nanos());
@@ -1119,6 +1550,104 @@ mod tests {
         );
         assert!(r.is_conserved());
         assert!(r.dropped > 0 || r.in_flight > 100);
+    }
+
+    #[test]
+    fn armed_but_silent_injector_changes_nothing() {
+        // An enabled plan whose faults can never fire (one scheduled
+        // injection at an unreachable occurrence) builds the injector
+        // and arms a watchdog per preemption, yet must leave every
+        // result — stats, metrics, trace — identical to the healthy
+        // run. This is the <2%-overhead claim's correctness half.
+        use lp_sim::fault::{FaultKind, FaultPlan};
+        let mk = |faults: FaultPlan| {
+            run(
+                RuntimeConfig {
+                    trace_capacity: 4096,
+                    faults,
+                    ..small_cfg(PreemptMech::Uintr)
+                },
+                Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+                spec(300_000.0, 50),
+            )
+        };
+        let healthy = mk(FaultPlan::disabled());
+        let armed = mk(FaultPlan::once(FaultKind::IpiDrop, u64::MAX));
+        assert_eq!(healthy.arrivals, armed.arrivals);
+        assert_eq!(healthy.completions, armed.completions);
+        assert_eq!(healthy.preemptions, armed.preemptions);
+        assert_eq!(healthy.latency.p99(), armed.latency.p99());
+        assert_eq!(healthy.metrics.counters, armed.metrics.counters);
+        assert_eq!(healthy.events, armed.events);
+        assert_eq!(armed.metrics.counter("faults_injected"), 0);
+        assert_eq!(armed.metrics.counter("preempt_retries"), 0);
+    }
+
+    #[test]
+    fn dropped_ipis_degrade_to_signal_path() {
+        // Every SENDUIPI vanishes: after `degrade_after` consecutive
+        // losses each worker must fall back to signals and the system
+        // must still preempt, complete, and conserve requests.
+        use lp_sim::fault::{FaultKind, FaultPlan};
+        let spec = WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(
+                ServiceDist::Constant(SimDur::micros(400)),
+            )),
+            arrivals: RateSchedule::Constant(8_000.0),
+            duration: SimDur::millis(60),
+            warmup: SimDur::ZERO,
+        };
+        let r = run(
+            RuntimeConfig {
+                faults: FaultPlan::only(FaultKind::IpiDrop, 1.0),
+                ..small_cfg(PreemptMech::Uintr)
+            },
+            Box::new(FcfsPreempt::fixed(SimDur::micros(20))),
+            spec,
+        );
+        assert!(r.is_conserved(), "{r:?}");
+        assert!(r.completions > 100, "completions {}", r.completions);
+        assert!(r.preemptions > 0, "signal fallback never preempted");
+        assert!(r.metrics.counter("faults_injected") > 0);
+        assert!(r.metrics.counter("preempt_retries") > 0);
+        assert_eq!(r.metrics.counter("mech_degradations"), 4, "one per worker");
+        assert_eq!(r.metrics.counter("mech_recoveries"), 0, "probes keep failing");
+    }
+
+    #[test]
+    fn transient_drops_degrade_then_probe_recovers() {
+        // Exactly the first `degrade_after` sends are dropped; the
+        // fabric then heals. The victim worker must degrade once,
+        // probe, and recover to UINTR.
+        use lp_sim::fault::{FaultKind, FaultPlan, ScheduledFault};
+        let mut plan = FaultPlan::disabled();
+        for occurrence in 0..3 {
+            plan.schedule.push(ScheduledFault { kind: FaultKind::IpiDrop, occurrence });
+        }
+        let spec = WorkloadSpec {
+            source: ServiceSource::Phased(PhasedService::constant(
+                ServiceDist::Constant(SimDur::micros(400)),
+            )),
+            arrivals: RateSchedule::Constant(8_000.0),
+            duration: SimDur::millis(80),
+            warmup: SimDur::ZERO,
+        };
+        let r = run(
+            RuntimeConfig {
+                // One worker so the scheduled occurrences 0..3 are all
+                // consumed by the same worker's send/retry chain.
+                workers: 1,
+                faults: plan,
+                ..small_cfg(PreemptMech::Uintr)
+            },
+            Box::new(FcfsPreempt::fixed(SimDur::micros(20))),
+            spec,
+        );
+        assert!(r.is_conserved(), "{r:?}");
+        assert_eq!(r.metrics.counter("faults_injected"), 3);
+        assert_eq!(r.metrics.counter("mech_degradations"), 1);
+        assert_eq!(r.metrics.counter("mech_recoveries"), 1, "probe must recover");
+        assert!(r.preemptions > 100);
     }
 
     #[test]

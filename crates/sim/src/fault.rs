@@ -1,0 +1,649 @@
+//! Deterministic fault injection for the mechanism stack.
+//!
+//! A [`FaultPlan`] declares *what* can go wrong (per-site probabilities
+//! plus an exact occurrence schedule); a [`FaultInjector`] decides
+//! *when*, drawing every decision from a dedicated
+//! [`rng`](crate::rng) substream ([`streams::FAULTS`]) of the
+//! experiment master seed — so faulty runs are byte-reproducible and a
+//! disabled plan is a true no-op (no RNG draws, no state).
+//!
+//! The injector is consulted at four sites, one decision method each:
+//!
+//! * [`ipi`](FaultInjector::ipi) — before every `SENDUIPI`
+//!   (drop / delay / duplicate / stuck `SN` / stale `NDST`);
+//! * [`timer`](FaultInjector::timer) — at every kernel-timer arming
+//!   (missed expiry / jitter spike / spurious fire);
+//! * [`signal`](FaultInjector::signal) — before every kernel signal
+//!   (lost delivery / runqueue-lock contention burst);
+//! * [`core`](FaultInjector::core) — at every task launch
+//!   (core stall/hog window that masks preemption delivery).
+//!
+//! The taxonomy, the recovery protocol each fault exercises, and the
+//! watchdog parameters are documented in `docs/FAULTS.md`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::{rng, streams};
+use crate::time::SimDur;
+
+/// Every injectable fault, as a flat label.
+///
+/// The `u8` representation is the wire value of the `kind` field in
+/// `fault_injected` events (see `docs/TRACING.md`), so the discriminants
+/// are frozen: new kinds append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FaultKind {
+    /// `SENDUIPI` silently dropped by the fabric; no UPID state changes.
+    IpiDrop = 0,
+    /// `SENDUIPI` delivery delayed by the plan's `ipi_delay_ns`.
+    IpiDelay = 1,
+    /// `SENDUIPI` issued twice; the second send must coalesce.
+    IpiDuplicate = 2,
+    /// The receiver's `SN` suppress bit is stuck set when the send
+    /// arrives; notification suppressed until a repair clears it.
+    StuckSn = 3,
+    /// The UPID's `NDST` destination is stale: the vector posts but the
+    /// notification is misdirected and never lands.
+    StaleNdst = 4,
+    /// The kernel timer never fires for this arming.
+    TimerMiss = 5,
+    /// The kernel timer fires late by the plan's `timer_spike_ns`.
+    TimerSpike = 6,
+    /// The kernel timer fires one extra, spurious time.
+    TimerSpurious = 7,
+    /// The kernel signal is lost before the handler runs.
+    SignalLost = 8,
+    /// A runqueue-lock contention burst: delivery sees the plan's
+    /// `contention_waiters` extra waiters ahead of it.
+    SignalContention = 9,
+    /// The core hogs (stalls) for the plan's `core_hog_ns`, masking
+    /// preemption delivery for the window.
+    CoreHog = 10,
+}
+
+impl FaultKind {
+    /// All kinds, in wire order.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::IpiDrop,
+        FaultKind::IpiDelay,
+        FaultKind::IpiDuplicate,
+        FaultKind::StuckSn,
+        FaultKind::StaleNdst,
+        FaultKind::TimerMiss,
+        FaultKind::TimerSpike,
+        FaultKind::TimerSpurious,
+        FaultKind::SignalLost,
+        FaultKind::SignalContention,
+        FaultKind::CoreHog,
+    ];
+
+    /// Stable snake_case label (used in reports and docs).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultKind::IpiDrop => "ipi_drop",
+            FaultKind::IpiDelay => "ipi_delay",
+            FaultKind::IpiDuplicate => "ipi_duplicate",
+            FaultKind::StuckSn => "stuck_sn",
+            FaultKind::StaleNdst => "stale_ndst",
+            FaultKind::TimerMiss => "timer_miss",
+            FaultKind::TimerSpike => "timer_spike",
+            FaultKind::TimerSpurious => "timer_spurious",
+            FaultKind::SignalLost => "signal_lost",
+            FaultKind::SignalContention => "signal_contention",
+            FaultKind::CoreHog => "core_hog",
+        }
+    }
+
+    /// The injection site this kind belongs to.
+    pub const fn site(self) -> Site {
+        match self {
+            FaultKind::IpiDrop
+            | FaultKind::IpiDelay
+            | FaultKind::IpiDuplicate
+            | FaultKind::StuckSn
+            | FaultKind::StaleNdst => Site::Ipi,
+            FaultKind::TimerMiss | FaultKind::TimerSpike | FaultKind::TimerSpurious => Site::Timer,
+            FaultKind::SignalLost | FaultKind::SignalContention => Site::Signal,
+            FaultKind::CoreHog => Site::Core,
+        }
+    }
+
+    /// Inverse of the `u8` wire value; `None` for unknown codes.
+    pub fn from_u8(v: u8) -> Option<FaultKind> {
+        FaultKind::ALL.get(v as usize).copied()
+    }
+}
+
+/// One of the four injection sites the runtime consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// `UintrDomain::senduipi` (one decision per send attempt).
+    Ipi,
+    /// `KernelTimer` arming (one decision per armed expiry).
+    Timer,
+    /// `SignalPath` delivery (one decision per signal send).
+    Signal,
+    /// Worker-core task launch (one decision per started slice).
+    Core,
+}
+
+/// An exact, deterministic injection: fire `kind` at the site's
+/// `occurrence`-th decision (0-based).
+///
+/// Schedule entries take precedence over the probabilistic rates, so a
+/// test can say "drop exactly the third IPI" without touching any rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Which decision at the kind's site (0-based occurrence index).
+    pub occurrence: u64,
+}
+
+/// Declares which faults a run may see, and how hard.
+///
+/// All rates are per-decision probabilities in `[0, 1]`; magnitudes are
+/// shared per site. The default plan is fully disabled: every rate is
+/// `0.0` and the schedule is empty, and [`FaultPlan::enabled`] is
+/// `false` — components must not even consult the injector then, so a
+/// healthy run is byte-identical to one built before faults existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// P(drop) per `SENDUIPI`.
+    pub ipi_drop: f64,
+    /// P(delayed delivery) per `SENDUIPI`.
+    pub ipi_delay: f64,
+    /// P(duplicated send) per `SENDUIPI`.
+    pub ipi_duplicate: f64,
+    /// P(stuck `SN` suppress bit) per `SENDUIPI`.
+    pub ipi_stuck_sn: f64,
+    /// P(stale `NDST` misdirection) per `SENDUIPI`.
+    pub ipi_stale_ndst: f64,
+    /// P(missed expiry) per kernel-timer arming.
+    pub timer_miss: f64,
+    /// P(jitter spike) per kernel-timer arming.
+    pub timer_spike: f64,
+    /// P(spurious extra fire) per kernel-timer arming.
+    pub timer_spurious: f64,
+    /// P(lost signal) per kernel-signal delivery.
+    pub signal_lost: f64,
+    /// P(contention burst) per kernel-signal delivery.
+    pub signal_contention: f64,
+    /// P(hog window) per started task slice.
+    pub core_hog: f64,
+    /// Extra delivery latency of an [`FaultKind::IpiDelay`].
+    pub ipi_delay_ns: u64,
+    /// Extra expiry latency of a [`FaultKind::TimerSpike`].
+    pub timer_spike_ns: u64,
+    /// Length of a [`FaultKind::CoreHog`] stall window.
+    pub core_hog_ns: u64,
+    /// Extra waiters a [`FaultKind::SignalContention`] burst simulates.
+    pub contention_waiters: u32,
+    /// Exact occurrence-indexed injections (checked before the rates).
+    pub schedule: Vec<ScheduledFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            ipi_drop: 0.0,
+            ipi_delay: 0.0,
+            ipi_duplicate: 0.0,
+            ipi_stuck_sn: 0.0,
+            ipi_stale_ndst: 0.0,
+            timer_miss: 0.0,
+            timer_spike: 0.0,
+            timer_spurious: 0.0,
+            signal_lost: 0.0,
+            signal_contention: 0.0,
+            core_hog: 0.0,
+            ipi_delay_ns: 5_000,
+            timer_spike_ns: 50_000,
+            core_hog_ns: 200_000,
+            contention_waiters: 8,
+            schedule: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The fully healthy plan (all rates zero, empty schedule).
+    pub fn disabled() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting only `kind`, probabilistically at `rate`.
+    pub fn only(kind: FaultKind, rate: f64) -> Self {
+        let mut p = FaultPlan::default();
+        *p.rate_mut(kind) = rate;
+        p
+    }
+
+    /// A plan injecting only `kind`, exactly once, at the site's
+    /// `occurrence`-th decision.
+    pub fn once(kind: FaultKind, occurrence: u64) -> Self {
+        let mut p = FaultPlan::default();
+        p.schedule.push(ScheduledFault { kind, occurrence });
+        p
+    }
+
+    /// Whether this plan can inject anything at all. Disabled plans must
+    /// never reach a [`FaultInjector`] decision (callers gate on this),
+    /// which is what keeps healthy runs byte-identical.
+    pub fn enabled(&self) -> bool {
+        !self.schedule.is_empty()
+            || FaultKind::ALL.iter().any(|&k| self.rate(k) > 0.0)
+    }
+
+    /// The probabilistic rate configured for `kind`.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::IpiDrop => self.ipi_drop,
+            FaultKind::IpiDelay => self.ipi_delay,
+            FaultKind::IpiDuplicate => self.ipi_duplicate,
+            FaultKind::StuckSn => self.ipi_stuck_sn,
+            FaultKind::StaleNdst => self.ipi_stale_ndst,
+            FaultKind::TimerMiss => self.timer_miss,
+            FaultKind::TimerSpike => self.timer_spike,
+            FaultKind::TimerSpurious => self.timer_spurious,
+            FaultKind::SignalLost => self.signal_lost,
+            FaultKind::SignalContention => self.signal_contention,
+            FaultKind::CoreHog => self.core_hog,
+        }
+    }
+
+    fn rate_mut(&mut self, kind: FaultKind) -> &mut f64 {
+        match kind {
+            FaultKind::IpiDrop => &mut self.ipi_drop,
+            FaultKind::IpiDelay => &mut self.ipi_delay,
+            FaultKind::IpiDuplicate => &mut self.ipi_duplicate,
+            FaultKind::StuckSn => &mut self.ipi_stuck_sn,
+            FaultKind::StaleNdst => &mut self.ipi_stale_ndst,
+            FaultKind::TimerMiss => &mut self.timer_miss,
+            FaultKind::TimerSpike => &mut self.timer_spike,
+            FaultKind::TimerSpurious => &mut self.timer_spurious,
+            FaultKind::SignalLost => &mut self.signal_lost,
+            FaultKind::SignalContention => &mut self.signal_contention,
+            FaultKind::CoreHog => &mut self.core_hog,
+        }
+    }
+
+    fn site_kinds(site: Site) -> &'static [FaultKind] {
+        match site {
+            Site::Ipi => &[
+                FaultKind::IpiDrop,
+                FaultKind::IpiDelay,
+                FaultKind::IpiDuplicate,
+                FaultKind::StuckSn,
+                FaultKind::StaleNdst,
+            ],
+            Site::Timer => {
+                &[FaultKind::TimerMiss, FaultKind::TimerSpike, FaultKind::TimerSpurious]
+            }
+            Site::Signal => &[FaultKind::SignalLost, FaultKind::SignalContention],
+            Site::Core => &[FaultKind::CoreHog],
+        }
+    }
+}
+
+/// The decision at an IPI send site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpiFault {
+    /// Do not deliver; no UPID state changes.
+    Drop,
+    /// Deliver, but this much later.
+    Delay(SimDur),
+    /// Send twice back-to-back.
+    Duplicate,
+    /// Force the receiver's `SN` bit set before the send.
+    StuckSn,
+    /// Post the vector but misdirect the notification.
+    StaleNdst,
+}
+
+impl IpiFault {
+    /// The flat label of this decision.
+    pub const fn kind(self) -> FaultKind {
+        match self {
+            IpiFault::Drop => FaultKind::IpiDrop,
+            IpiFault::Delay(_) => FaultKind::IpiDelay,
+            IpiFault::Duplicate => FaultKind::IpiDuplicate,
+            IpiFault::StuckSn => FaultKind::StuckSn,
+            IpiFault::StaleNdst => FaultKind::StaleNdst,
+        }
+    }
+}
+
+/// The decision at a kernel-timer arming site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerFault {
+    /// The expiry never fires.
+    Miss,
+    /// The expiry fires this much later.
+    JitterSpike(SimDur),
+    /// One extra, spurious expiry fires too.
+    Spurious,
+}
+
+impl TimerFault {
+    /// The flat label of this decision.
+    pub const fn kind(self) -> FaultKind {
+        match self {
+            TimerFault::Miss => FaultKind::TimerMiss,
+            TimerFault::JitterSpike(_) => FaultKind::TimerSpike,
+            TimerFault::Spurious => FaultKind::TimerSpurious,
+        }
+    }
+}
+
+/// The decision at a kernel-signal delivery site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalFault {
+    /// The handler never runs.
+    Lost,
+    /// Delivery proceeds but sees this many extra lock waiters.
+    ContentionBurst(u32),
+}
+
+impl SignalFault {
+    /// The flat label of this decision.
+    pub const fn kind(self) -> FaultKind {
+        match self {
+            SignalFault::Lost => FaultKind::SignalLost,
+            SignalFault::ContentionBurst(_) => FaultKind::SignalContention,
+        }
+    }
+}
+
+/// The decision at a task-launch (core) site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreFault {
+    /// The core stalls for this window, masking preemption delivery.
+    Hog(SimDur),
+}
+
+impl CoreFault {
+    /// The flat label of this decision.
+    pub const fn kind(self) -> FaultKind {
+        match self {
+            CoreFault::Hog(_) => FaultKind::CoreHog,
+        }
+    }
+}
+
+/// Samples a [`FaultPlan`] deterministically.
+///
+/// All randomness comes from the [`streams::FAULTS`] substream of the
+/// master seed, so two runs with the same `(seed, plan)` inject the
+/// same faults at the same decisions. Sites whose rates are all zero
+/// (and have no schedule entry at the current occurrence) never draw
+/// from the RNG at all, so a rate-0.0 plan samples identically to no
+/// plan.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    ipi_n: u64,
+    timer_n: u64,
+    signal_n: u64,
+    core_n: u64,
+    /// Per-site sum of rates, precomputed so the per-decision hot path
+    /// (consulted on every send in a faulty run) is a load and a
+    /// compare instead of a match-dispatched re-sum.
+    totals: [f64; 4],
+    /// Per-site "the schedule mentions this site" flags; sites with no
+    /// entry skip the occurrence bookkeeping entirely.
+    scheduled: [bool; 4],
+}
+
+const fn site_index(site: Site) -> usize {
+    match site {
+        Site::Ipi => 0,
+        Site::Timer => 1,
+        Site::Signal => 2,
+        Site::Core => 3,
+    }
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, seeded from the experiment
+    /// `master` seed via the frozen [`streams::FAULTS`] substream.
+    pub fn new(plan: FaultPlan, master: u64) -> Self {
+        let mut totals = [0.0f64; 4];
+        let mut scheduled = [false; 4];
+        for k in FaultKind::ALL {
+            totals[site_index(k.site())] += plan.rate(k);
+        }
+        for s in &plan.schedule {
+            scheduled[site_index(s.kind.site())] = true;
+        }
+        FaultInjector {
+            plan,
+            rng: rng(master, streams::FAULTS),
+            ipi_n: 0,
+            timer_n: 0,
+            signal_n: 0,
+            core_n: 0,
+            totals,
+            scheduled,
+        }
+    }
+
+    /// The plan this injector samples.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next `SENDUIPI`.
+    pub fn ipi(&mut self) -> Option<IpiFault> {
+        let kind = self.decide(Site::Ipi)?;
+        Some(match kind {
+            FaultKind::IpiDrop => IpiFault::Drop,
+            FaultKind::IpiDelay => IpiFault::Delay(SimDur::nanos(self.plan.ipi_delay_ns)),
+            FaultKind::IpiDuplicate => IpiFault::Duplicate,
+            FaultKind::StuckSn => IpiFault::StuckSn,
+            FaultKind::StaleNdst => IpiFault::StaleNdst,
+            _ => unreachable!("non-IPI kind decided at the IPI site"),
+        })
+    }
+
+    /// Decide the fate of the next kernel-timer arming.
+    pub fn timer(&mut self) -> Option<TimerFault> {
+        let kind = self.decide(Site::Timer)?;
+        Some(match kind {
+            FaultKind::TimerMiss => TimerFault::Miss,
+            FaultKind::TimerSpike => {
+                TimerFault::JitterSpike(SimDur::nanos(self.plan.timer_spike_ns))
+            }
+            FaultKind::TimerSpurious => TimerFault::Spurious,
+            _ => unreachable!("non-timer kind decided at the timer site"),
+        })
+    }
+
+    /// Decide the fate of the next kernel-signal delivery.
+    pub fn signal(&mut self) -> Option<SignalFault> {
+        let kind = self.decide(Site::Signal)?;
+        Some(match kind {
+            FaultKind::SignalLost => SignalFault::Lost,
+            FaultKind::SignalContention => {
+                SignalFault::ContentionBurst(self.plan.contention_waiters)
+            }
+            _ => unreachable!("non-signal kind decided at the signal site"),
+        })
+    }
+
+    /// Decide the fate of the next task launch on a worker core.
+    pub fn core(&mut self) -> Option<CoreFault> {
+        let kind = self.decide(Site::Core)?;
+        Some(match kind {
+            FaultKind::CoreHog => CoreFault::Hog(SimDur::nanos(self.plan.core_hog_ns)),
+            _ => unreachable!("non-core kind decided at the core site"),
+        })
+    }
+
+    /// One decision at `site`: schedule entries first (exact occurrence
+    /// match wins, earliest-declared entry breaks ties), then one
+    /// uniform draw partitioned by the site's cumulative rates — a
+    /// single draw per decision keeps the stream consumption pattern
+    /// independent of which kinds are enabled.
+    fn decide(&mut self, site: Site) -> Option<FaultKind> {
+        let idx = site_index(site);
+        // Occurrence bookkeeping only exists to match schedule entries;
+        // a site the schedule never mentions skips it.
+        if self.scheduled[idx] {
+            let counter = match site {
+                Site::Ipi => &mut self.ipi_n,
+                Site::Timer => &mut self.timer_n,
+                Site::Signal => &mut self.signal_n,
+                Site::Core => &mut self.core_n,
+            };
+            let n = *counter;
+            *counter += 1;
+            if let Some(s) = self
+                .plan
+                .schedule
+                .iter()
+                .find(|s| s.kind.site() == site && s.occurrence == n)
+            {
+                return Some(s.kind);
+            }
+        }
+        if self.totals[idx] <= 0.0 {
+            return None; // no draw: rate-0 sites are true no-ops
+        }
+        let kinds = FaultPlan::site_kinds(site);
+        let x: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for &k in kinds {
+            acc += self.plan.rate(k);
+            if x < acc {
+                return Some(k);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for (i, &k) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(k as u8, i as u8, "{k:?} code drifted");
+            assert_eq!(FaultKind::from_u8(i as u8), Some(k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(FaultKind::from_u8(200), None);
+        let mut names: Vec<_> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len(), "duplicate kind names");
+    }
+
+    #[test]
+    fn default_plan_is_disabled() {
+        let p = FaultPlan::default();
+        assert!(!p.enabled());
+        assert_eq!(p, FaultPlan::disabled());
+        assert!(FaultPlan::only(FaultKind::IpiDrop, 0.5).enabled());
+        assert!(FaultPlan::once(FaultKind::TimerMiss, 3).enabled());
+        assert!(!FaultPlan::only(FaultKind::IpiDrop, 0.0).enabled());
+    }
+
+    #[test]
+    fn disabled_plan_never_injects() {
+        let mut inj = FaultInjector::new(FaultPlan::disabled(), 42);
+        for _ in 0..100 {
+            assert_eq!(inj.ipi(), None);
+            assert_eq!(inj.timer(), None);
+            assert_eq!(inj.signal(), None);
+            assert_eq!(inj.core(), None);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let plan = {
+            let mut p = FaultPlan::only(FaultKind::IpiDrop, 0.3);
+            p.timer_miss = 0.2;
+            p.signal_lost = 0.1;
+            p.core_hog = 0.25;
+            p
+        };
+        let mut a = FaultInjector::new(plan.clone(), 7);
+        let mut b = FaultInjector::new(plan, 7);
+        for _ in 0..200 {
+            assert_eq!(a.ipi(), b.ipi());
+            assert_eq!(a.timer(), b.timer());
+            assert_eq!(a.signal(), b.signal());
+            assert_eq!(a.core(), b.core());
+        }
+    }
+
+    #[test]
+    fn schedule_fires_exactly_once_at_its_occurrence() {
+        let mut inj = FaultInjector::new(FaultPlan::once(FaultKind::StuckSn, 2), 1);
+        assert_eq!(inj.ipi(), None);
+        assert_eq!(inj.ipi(), None);
+        assert_eq!(inj.ipi(), Some(IpiFault::StuckSn));
+        for _ in 0..32 {
+            assert_eq!(inj.ipi(), None);
+        }
+        // Scheduling at the IPI site does not disturb the others.
+        let mut inj = FaultInjector::new(FaultPlan::once(FaultKind::IpiDrop, 0), 1);
+        assert_eq!(inj.timer(), None);
+        assert_eq!(inj.signal(), None);
+        assert_eq!(inj.ipi(), Some(IpiFault::Drop));
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_carries_magnitudes() {
+        let mut plan = FaultPlan::only(FaultKind::IpiDelay, 1.0);
+        plan.ipi_delay_ns = 777;
+        plan.timer_spike = 1.0;
+        plan.timer_spike_ns = 888;
+        plan.signal_contention = 1.0;
+        plan.contention_waiters = 9;
+        plan.core_hog = 1.0;
+        plan.core_hog_ns = 999;
+        let mut inj = FaultInjector::new(plan, 3);
+        assert_eq!(inj.ipi(), Some(IpiFault::Delay(SimDur::nanos(777))));
+        assert_eq!(inj.timer(), Some(TimerFault::JitterSpike(SimDur::nanos(888))));
+        assert_eq!(inj.signal(), Some(SignalFault::ContentionBurst(9)));
+        assert_eq!(inj.core(), Some(CoreFault::Hog(SimDur::nanos(999))));
+    }
+
+    #[test]
+    fn probabilistic_rate_hits_near_expectation() {
+        let mut inj = FaultInjector::new(FaultPlan::only(FaultKind::SignalLost, 0.5), 11);
+        let hits = (0..2_000).filter(|_| inj.signal().is_some()).count();
+        assert!((800..1_200).contains(&hits), "{hits} hits at rate 0.5");
+    }
+
+    #[test]
+    fn decision_kinds_match_their_site() {
+        let mut plan = FaultPlan::default();
+        for k in FaultKind::ALL {
+            *plan.rate_mut(k) = 1.0 / 8.0;
+        }
+        let mut inj = FaultInjector::new(plan, 5);
+        for _ in 0..200 {
+            if let Some(f) = inj.ipi() {
+                assert_eq!(f.kind().site(), Site::Ipi);
+            }
+            if let Some(f) = inj.timer() {
+                assert_eq!(f.kind().site(), Site::Timer);
+            }
+            if let Some(f) = inj.signal() {
+                assert_eq!(f.kind().site(), Site::Signal);
+            }
+            if let Some(f) = inj.core() {
+                assert_eq!(f.kind().site(), Site::Core);
+            }
+        }
+    }
+}

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 pub mod obs;
 pub mod par;
 mod queue;

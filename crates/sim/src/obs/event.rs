@@ -161,6 +161,40 @@ pub enum Event {
         /// Caller-defined code.
         code: u32,
     },
+
+    // ---- resilience (lp_sim::fault + runtime watchdog) ----
+    /// The fault injector fired: one planned fault was injected.
+    FaultInjected {
+        /// Worker the fault targets (the victim of the lost delivery,
+        /// stalled core, etc.).
+        worker: u16,
+        /// `FaultKind` wire code (see `lp_sim::fault::FaultKind`).
+        kind: u8,
+    },
+    /// The lost-preemption watchdog re-sent an armed preemption whose
+    /// deadline passed without delivery.
+    PreemptRetry {
+        /// Worker whose preemption went missing.
+        worker: u16,
+        /// Retry attempt number (1 = first re-send).
+        attempt: u8,
+        /// Backoff delay applied before the next watchdog check.
+        delay_ns: u64,
+    },
+    /// After N consecutive UINTR losses the runtime degraded this
+    /// worker's preemption mechanism to the kernel signal path.
+    MechDegraded {
+        /// Degraded worker.
+        worker: u16,
+        /// Consecutive losses that triggered the degradation.
+        losses: u8,
+    },
+    /// A UINTR probe succeeded on a degraded worker: the runtime
+    /// recovered it back to the fast user-interrupt path.
+    MechRecovered {
+        /// Recovered worker.
+        worker: u16,
+    },
 }
 
 impl Event {
@@ -187,6 +221,10 @@ impl Event {
             Event::SpuriousPreempt { .. } => "spurious_preempt",
             Event::QuantumAdjusted { .. } => "quantum_adjusted",
             Event::Marker { .. } => "marker",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::PreemptRetry { .. } => "preempt_retry",
+            Event::MechDegraded { .. } => "mech_degraded",
+            Event::MechRecovered { .. } => "mech_recovered",
         }
     }
 }
@@ -249,6 +287,21 @@ impl fmt::Display for Event {
                 write!(f, "quantum {old_ns}ns -> {new_ns}ns")
             }
             Event::Marker { code } => write!(f, "marker {code}"),
+            Event::FaultInjected { worker, kind } => {
+                write!(f, "fault kind {kind} injected at worker {worker}")
+            }
+            Event::PreemptRetry { worker, attempt, delay_ns } => {
+                write!(
+                    f,
+                    "preempt re-sent to worker {worker} (attempt {attempt}, backoff {delay_ns}ns)"
+                )
+            }
+            Event::MechDegraded { worker, losses } => {
+                write!(f, "worker {worker} degraded to signal path after {losses} losses")
+            }
+            Event::MechRecovered { worker } => {
+                write!(f, "worker {worker} recovered to uintr path")
+            }
         }
     }
 }
@@ -326,6 +379,21 @@ impl TimedEvent {
             }
             Event::Marker { code } => {
                 let _ = write!(out, ",\"code\":{code}");
+            }
+            Event::FaultInjected { worker, kind } => {
+                let _ = write!(out, ",\"worker\":{worker},\"kind\":{kind}");
+            }
+            Event::PreemptRetry { worker, attempt, delay_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"worker\":{worker},\"attempt\":{attempt},\"delay_ns\":{delay_ns}"
+                );
+            }
+            Event::MechDegraded { worker, losses } => {
+                let _ = write!(out, ",\"worker\":{worker},\"losses\":{losses}");
+            }
+            Event::MechRecovered { worker } => {
+                let _ = write!(out, ",\"worker\":{worker}");
             }
         }
         out.push('}');
@@ -409,6 +477,22 @@ impl TimedEvent {
                 new_ns: field_u64(line, "new_ns")?,
             },
             "marker" => Event::Marker { code: field_u64(line, "code")? as u32 },
+            "fault_injected" => Event::FaultInjected {
+                worker: field_u64(line, "worker")? as u16,
+                kind: field_u64(line, "kind")? as u8,
+            },
+            "preempt_retry" => Event::PreemptRetry {
+                worker: field_u64(line, "worker")? as u16,
+                attempt: field_u64(line, "attempt")? as u8,
+                delay_ns: field_u64(line, "delay_ns")?,
+            },
+            "mech_degraded" => Event::MechDegraded {
+                worker: field_u64(line, "worker")? as u16,
+                losses: field_u64(line, "losses")? as u8,
+            },
+            "mech_recovered" => {
+                Event::MechRecovered { worker: field_u64(line, "worker")? as u16 }
+            }
             _ => return None,
         };
         Some(TimedEvent { at: SimTime::from_nanos(t), ev })
@@ -477,6 +561,10 @@ mod tests {
             Event::SpuriousPreempt { worker: 6 },
             Event::QuantumAdjusted { old_ns: 30_000, new_ns: 25_000 },
             Event::Marker { code: 42 },
+            Event::FaultInjected { worker: 1, kind: 0 },
+            Event::PreemptRetry { worker: 1, attempt: 2, delay_ns: 40_000 },
+            Event::MechDegraded { worker: 1, losses: 3 },
+            Event::MechRecovered { worker: 1 },
         ];
         evs.iter()
             .enumerate()

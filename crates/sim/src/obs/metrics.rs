@@ -42,11 +42,15 @@ pub enum Counter {
     CoreDispatchNs,
     CoreTimerPollNs,
     CoreKernelNs,
+    FaultsInjected,
+    PreemptRetries,
+    MechDegradations,
+    MechRecoveries,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 32] = [
         Counter::UipiSent,
         Counter::UipiDelivered,
         Counter::UipiCoalesced,
@@ -75,6 +79,10 @@ impl Counter {
         Counter::CoreDispatchNs,
         Counter::CoreTimerPollNs,
         Counter::CoreKernelNs,
+        Counter::FaultsInjected,
+        Counter::PreemptRetries,
+        Counter::MechDegradations,
+        Counter::MechRecoveries,
     ];
 
     /// Stable snake_case name (the JSONL/snapshot key).
@@ -108,6 +116,10 @@ impl Counter {
             Counter::CoreDispatchNs => "core_dispatch_ns",
             Counter::CoreTimerPollNs => "core_timer_poll_ns",
             Counter::CoreKernelNs => "core_kernel_ns",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::PreemptRetries => "preempt_retries",
+            Counter::MechDegradations => "mech_degradations",
+            Counter::MechRecoveries => "mech_recoveries",
         }
     }
 }
@@ -228,6 +240,10 @@ impl Metrics {
                 self.set_gauge(Gauge::QuantumNs, new_ns as f64);
             }
             Event::Marker { .. } => self.bump(Counter::Markers),
+            Event::FaultInjected { .. } => self.bump(Counter::FaultsInjected),
+            Event::PreemptRetry { .. } => self.bump(Counter::PreemptRetries),
+            Event::MechDegraded { .. } => self.bump(Counter::MechDegradations),
+            Event::MechRecovered { .. } => self.bump(Counter::MechRecoveries),
         }
     }
 

@@ -52,6 +52,8 @@ pub mod streams {
     pub const INTERFERENCE: u64 = 6;
     /// Load-balancing tie-breaks.
     pub const BALANCE: u64 = 7;
+    /// Fault-injection decision sampling (see [`crate::fault`]).
+    pub const FAULTS: u64 = 8;
 }
 
 #[cfg(test)]
