@@ -18,7 +18,7 @@ use std::path::{Path, PathBuf};
 
 use crate::rules::{
     nondet_file_allowance, RuleId, FAULT_RNG_FILE, FAULT_RNG_TOKENS, NONDET_EXEMPT_CRATES,
-    NONDET_TOKENS, OBS_PAIRED_CRATES, UNSAFE_ALLOWED_CRATE,
+    NONDET_TOKENS, OBS_PAIRED_CRATES, POLICY_DIR, POLICY_PURITY_TOKENS, UNSAFE_ALLOWED_CRATE,
 };
 
 /// One finding, pinned to a file and line.
@@ -579,6 +579,23 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
             }
         }
 
+        if rel.starts_with(POLICY_DIR) {
+            for token in POLICY_PURITY_TOKENS {
+                if contains_token(code, token) {
+                    push(
+                        RuleId::PolicyPurity,
+                        line,
+                        format!(
+                            "`{token}` in a scheduling-policy module — decisions must be \
+                             pure functions of hook arguments and policy state \
+                             (docs/POLICIES.md determinism rules)"
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+
         if !is_bin {
             for mac in ["println!", "eprintln!"] {
                 if code.contains(mac) {
@@ -874,6 +891,61 @@ mod tests {
         lint_file(
             "crates/sim/src/fault.rs",
             "let r = rng(master, streams::FAULTS);\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 0, "{}", r.human());
+    }
+
+    #[test]
+    fn policy_purity_rule_is_scoped_to_the_zoo_directory() {
+        let vocab = BTreeSet::new();
+        // Ambient entropy inside a zoo module fails the build. (The
+        // nondet rule fires on `thread_rng` too; the purity rule must
+        // be among the diagnostics with its own message.)
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/preemptible/src/policies/mine.rs",
+            "let q = rand::thread_rng().gen_range(0..4);\n",
+            &vocab,
+            &mut r,
+        );
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == RuleId::PolicyPurity && !d.suppressed),
+            "{}",
+            r.human()
+        );
+        assert!(r.human().contains("docs/POLICIES.md"));
+        // Environment reads and wall clocks are banned there as well.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/preemptible/src/policies/mine.rs",
+            "let j = std::env::var(\"LP_JOBS\");\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 1, "{}", r.human());
+        // The same tokens outside the zoo are not this rule's business
+        // (other rules may still apply).
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/preemptible/src/runtime.rs",
+            "let j = std::env::var(\"LP_JOBS\");\n",
+            &vocab,
+            &mut r,
+        );
+        assert!(
+            r.diagnostics.iter().all(|d| d.rule != RuleId::PolicyPurity),
+            "{}",
+            r.human()
+        );
+        // A clean zoo module passes.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/preemptible/src/policies/mine.rs",
+            "pub struct Mine { slice: u64 }\n",
             &vocab,
             &mut r,
         );

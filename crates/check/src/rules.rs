@@ -23,19 +23,23 @@ pub enum RuleId {
     /// `lp_sim::rng` substream machinery — never seed or source an RNG
     /// of its own.
     FaultRng,
+    /// Scheduling-policy modules must be pure: no wall clocks, no
+    /// ad-hoc RNG, no environment reads.
+    PolicyPurity,
     /// A malformed suppression comment (missing rule or reason).
     BadAllow,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::Nondet,
         RuleId::ObsPair,
         RuleId::UnsafeScope,
         RuleId::SafetyComment,
         RuleId::NoPrint,
         RuleId::FaultRng,
+        RuleId::PolicyPurity,
         RuleId::BadAllow,
     ];
 
@@ -49,6 +53,7 @@ impl RuleId {
             RuleId::SafetyComment => "safety-comment",
             RuleId::NoPrint => "no-print",
             RuleId::FaultRng => "fault-rng",
+            RuleId::PolicyPurity => "policy-purity",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -87,6 +92,12 @@ impl RuleId {
                 "fault injection is only safe to ship because it is byte-reproducible; \
                  fault.rs seeding its own RNG (instead of the frozen streams::FAULTS \
                  substream) would silently decouple faulty runs from the master seed"
+            }
+            RuleId::PolicyPurity => {
+                "policy decisions must be pure functions of hook arguments and policy \
+                 state (docs/POLICIES.md); a wall clock, entropy source, or environment \
+                 read inside the policy zoo would desynchronize the schedule from the \
+                 master seed and break every byte-identity guarantee downstream"
             }
             RuleId::BadAllow => {
                 "a suppression without a known rule id and a reason defeats the audit \
@@ -184,6 +195,27 @@ pub const FAULT_RNG_TOKENS: [&str; 5] = [
     "StdRng",
     "from_entropy",
     "seed_from_u64",
+];
+
+/// The directory [`RuleId::PolicyPurity`] polices: the scheduling
+/// policy zoo (every module under it, including future additions).
+pub const POLICY_DIR: &str = "crates/preemptible/src/policies/";
+
+/// Nondeterminism-source tokens banned from [`POLICY_DIR`]. Broader
+/// than [`NONDET_TOKENS`] (which already applies there too): a policy
+/// may not even *accept* ambient entropy or environment configuration —
+/// decisions must derive from hook arguments and policy state alone,
+/// per the determinism rules of `docs/POLICIES.md`.
+pub const POLICY_PURITY_TOKENS: [&str; 9] = [
+    "Instant",
+    "OsRng",
+    "SeedableRng",
+    "StdRng",
+    "SystemTime",
+    "from_entropy",
+    "seed_from_u64",
+    "std::env",
+    "thread_rng",
 ];
 
 #[cfg(test)]

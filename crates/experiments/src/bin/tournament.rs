@@ -1,0 +1,14 @@
+//! Runs the policy tournament and writes the ranked leaderboard to
+//! `results/tournament.md` and `results/tournament.json`.
+use lp_experiments::{common::Scale, tournament, DEFAULT_SEED};
+fn main() {
+    let scale = Scale::from_env(Scale::Full);
+    let rows = tournament::run_tournament(scale, DEFAULT_SEED);
+    let md = tournament::leaderboard_markdown(&rows, DEFAULT_SEED);
+    println!("{md}");
+    lp_experiments::common::save_csv("tournament.md", &md);
+    lp_experiments::common::save_csv(
+        "tournament.json",
+        &tournament::leaderboard_json(&rows, DEFAULT_SEED),
+    );
+}

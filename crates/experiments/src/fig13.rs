@@ -12,7 +12,8 @@ use lp_sim::SimDur;
 use lp_stats::Table;
 use lp_workload::{ColocatedWorkload, RateSchedule};
 
-use libpreemptible::policy::{ClassQuantum, FcfsPreempt, NonPreemptive, Policy};
+use libpreemptible::policy::{ClassQuantum, FcfsPreempt, NonPreemptive};
+use libpreemptible::sched::SchedPolicy;
 use libpreemptible::runtime::{run, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::Scale;
@@ -34,7 +35,7 @@ pub struct ColocPoint {
 }
 
 fn run_point(
-    policy: Box<dyn Policy>,
+    policy: Box<dyn SchedPolicy>,
     label: String,
     mech: PreemptMech,
     rate: f64,

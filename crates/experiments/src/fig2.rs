@@ -10,7 +10,8 @@ use lp_sim::SimDur;
 use lp_stats::Table;
 use lp_workload::{PhasedService, RateSchedule, ServiceDist};
 
-use libpreemptible::policy::{FcfsPreempt, NonPreemptive, Policy};
+use libpreemptible::policy::{FcfsPreempt, NonPreemptive};
+use libpreemptible::sched::SchedPolicy;
 use libpreemptible::runtime::{run, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};
 
 use crate::common::Scale;
@@ -58,7 +59,7 @@ pub fn run_fig2(scale: Scale, seed: u64) -> Vec<QuantumPoint> {
             duration,
             warmup: scale.warmup(),
         };
-        let (policy, mech): (Box<dyn Policy>, PreemptMech) = match q {
+        let (policy, mech): (Box<dyn SchedPolicy>, PreemptMech) = match q {
             None => (Box::new(NonPreemptive), PreemptMech::None),
             Some(us) => (
                 Box::new(FcfsPreempt::fixed(SimDur::micros(*us))),

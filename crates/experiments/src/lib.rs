@@ -35,6 +35,7 @@ pub mod figr;
 pub mod runner;
 pub mod table1;
 pub mod table4;
+pub mod tournament;
 
 pub use common::{PaperWorkload, Scale, SystemUnderTest};
 

@@ -188,6 +188,16 @@ impl ContextPool {
         Some(id)
     }
 
+    /// Takes the parked context at position `pos` of the parked list
+    /// (positions as yielded by [`ContextPool::iter_parked`]); used by
+    /// policies that order resumes with their own key.
+    pub fn take_parked_at(&mut self, pos: usize) -> Option<ContextId> {
+        let id = self.running_list.remove(pos)?;
+        debug_assert_eq!(self.states[id.0], SlotState::Parked);
+        self.states[id.0] = SlotState::Active;
+        Some(id)
+    }
+
     /// Takes the parked context with the smallest remaining work
     /// (used by the SRPT policy).
     pub fn take_parked_srpt(&mut self) -> Option<ContextId> {

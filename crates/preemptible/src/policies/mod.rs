@@ -1,0 +1,33 @@
+//! The policy zoo: ready-made [`SchedPolicy`](crate::sched::SchedPolicy)
+//! implementations, each a self-contained ~100-line module with its own
+//! unit tests.
+//!
+//! | Policy | Discipline | Resume order |
+//! |---|---|---|
+//! | [`Fifo`] | preemptive FCFS, fixed slice | oldest parked first |
+//! | [`Mlfq`] | multi-level feedback queue, slice doubles per demotion | lowest level first |
+//! | [`Edf`] | earliest-deadline-first (per-class latency budgets) | earliest deadline first |
+//! | [`Vruntime`] | CFS-like fair scheduling on accumulated runtime | smallest vruntime first |
+//! | [`Srpt`] | shortest-remaining-processing-time (oracle) | least remaining first |
+//! | [`AdaptiveQuantum`] | the paper's Algorithm 1 controller as a zoo citizen | oldest parked first |
+//!
+//! These modules are held to a stricter hygiene bar than the rest of
+//! the workspace: `lp-check`'s `policy-purity` rule forbids any wall
+//! clock, RNG seeding, or environment access here (docs/CHECKS.md),
+//! which is what makes every policy safe to drop into the
+//! deterministic tournament harness (`lp-experiments::tournament`).
+//! The authoring guide is `docs/POLICIES.md`.
+
+mod adaptive;
+mod edf;
+mod fifo;
+mod mlfq;
+mod srpt;
+mod vruntime;
+
+pub use adaptive::AdaptiveQuantum;
+pub use edf::Edf;
+pub use fifo::Fifo;
+pub use mlfq::Mlfq;
+pub use srpt::Srpt;
+pub use vruntime::Vruntime;

@@ -31,13 +31,13 @@ use lp_sim::fault::{CoreFault, FaultInjector, FaultPlan, IpiFault, TimerFault};
 use lp_sim::obs::{Event, Observer};
 use lp_sim::rng::{rng, streams};
 use lp_sim::{Ctx, EventId, Model, SimDur, SimTime, Simulation};
-use lp_stats::{Histogram, TimeSeries, WindowStats};
+use lp_stats::{Histogram, TimeSeries, WindowStats, WindowSummary};
 use lp_workload::{ArrivalGen, ColocatedWorkload, JobClass, PhasedService, RateSchedule};
 use rand::rngs::SmallRng;
 
-use crate::context::{ContextId, ContextPool};
-use crate::policy::{NextTask, Policy, ResumeOrder};
+use crate::context::{Context, ContextId, ContextPool};
 use crate::report::RunReport;
+use crate::sched::{Dispatch, Enqueue, ResumeSel, SchedCtx, SchedPolicy, TaskView};
 use crate::retry::WatchdogConfig;
 use crate::utimer::{SlotId, UtimerRegistry};
 
@@ -265,7 +265,12 @@ struct PendingReq {
 pub struct LibPreemptibleSystem {
     cfg: RuntimeConfig,
     spec: WorkloadSpec,
-    policy: Box<dyn Policy>,
+    policy: Box<dyn SchedPolicy>,
+    /// Scratch for per-worker queue depths handed to policy hooks
+    /// (reused to keep the hot path allocation-free).
+    depth_scratch: Vec<usize>,
+    /// Last closed control window, exposed to policy hooks.
+    last_window: Option<WindowSummary>,
 
     workers: Vec<Worker>,
     pool: ContextPool,
@@ -324,8 +329,21 @@ pub struct LibPreemptibleSystem {
 
 const MAX_CLASSES: usize = 2;
 
+/// Copies the policy-visible, read-only view out of a live context.
+fn task_view(id: ContextId, c: &Context) -> TaskView {
+    TaskView {
+        request: c.request,
+        fiber: id.index() as u32,
+        arrived: c.arrived,
+        remaining: c.remaining,
+        total: c.total,
+        preemptions: c.preemptions,
+        class: c.class,
+    }
+}
+
 impl LibPreemptibleSystem {
-    fn new(cfg: RuntimeConfig, spec: WorkloadSpec, policy: Box<dyn Policy>) -> Self {
+    fn new(cfg: RuntimeConfig, spec: WorkloadSpec, policy: Box<dyn SchedPolicy>) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         let mut registry = UtimerRegistry::new();
         let mut uintr = UintrDomain::new();
@@ -394,11 +412,20 @@ impl LibPreemptibleSystem {
             qps_series: series(cfg.series_frame),
             quantum_series: series(cfg.series_frame.or(Some(cfg.control_period))),
             slo_series: cfg.slo.and(series(cfg.series_frame)),
+            depth_scratch: Vec::with_capacity(cfg.workers),
+            last_window: None,
             workers,
             cfg,
             spec,
             policy,
         }
+    }
+
+    /// Refills `depth_scratch` with the current per-worker local queue
+    /// depths (the read-only view policy hooks receive).
+    fn fill_depths(&mut self) {
+        self.depth_scratch.clear();
+        self.depth_scratch.extend(self.workers.iter().map(|w| w.local.len()));
     }
 
     fn jitter(&mut self, base: SimDur) -> SimDur {
@@ -582,9 +609,9 @@ impl LibPreemptibleSystem {
 
     fn start_task(&mut self, worker: usize, id: ContextId, resumed: bool, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
-        let (class, remaining) = {
+        let (class, remaining, tv) = {
             let c = self.pool.get(id);
-            (c.class, c.remaining)
+            (c.class, c.remaining, task_view(id, c))
         };
         debug_assert!(!remaining.is_zero(), "starting a completed context");
         let switch = self.cfg.hw.fcontext_switch;
@@ -595,7 +622,29 @@ impl LibPreemptibleSystem {
         let mut start = now + pick + switch;
 
         self.workers[worker].seq += 1;
-        let q = self.policy.quantum(class);
+        self.fill_depths();
+        let q = {
+            let queued: usize = self.depth_scratch.iter().sum();
+            let mut sctx = SchedCtx {
+                now,
+                queue_depths: &self.depth_scratch,
+                runnable: queued,
+                parked: self.pool.parked(),
+                window: self.last_window.as_ref(),
+                obs: &mut self.obs,
+            };
+            self.policy.time_slice(&tv, &mut sctx)
+        };
+        if q != SimDur::MAX && self.cfg.mech != PreemptMech::None {
+            self.obs.emit(
+                start,
+                Event::SliceGranted {
+                    worker: worker as u16,
+                    fiber: id.index() as u32,
+                    slice_ns: q.as_nanos(),
+                },
+            );
+        }
         let arm_extra = self.arm_deadline(worker, start, q, ctx);
         if !arm_extra.is_zero() {
             self.workers[worker]
@@ -657,9 +706,20 @@ impl LibPreemptibleSystem {
             0
         };
         let new_waiting = own + if own == 0 { stealable } else { 0 };
-        let decision = self.policy.next_task(new_waiting, self.pool.parked());
+        self.fill_depths();
+        let decision = {
+            let mut sctx = SchedCtx {
+                now: ctx.now(),
+                queue_depths: &self.depth_scratch,
+                runnable: new_waiting,
+                parked: self.pool.parked(),
+                window: self.last_window.as_ref(),
+                obs: &mut self.obs,
+            };
+            self.policy.dispatch(worker, &mut sctx)
+        };
         match decision {
-            NextTask::New => {
+            Dispatch::New => {
                 let id = if let Some(id) = self.workers[worker].local.pop_front() {
                     id
                 } else {
@@ -686,14 +746,27 @@ impl LibPreemptibleSystem {
                 };
                 self.start_task(worker, id, false, ctx);
             }
-            NextTask::Preempted => {
-                let id = match self.policy.resume_order() {
-                    ResumeOrder::Fifo => self.pool.take_parked(),
-                    ResumeOrder::Srpt => self.pool.take_parked_srpt(),
+            Dispatch::Parked(sel) => {
+                let id = match sel {
+                    ResumeSel::Fifo => self.pool.take_parked(),
+                    ResumeSel::Srpt => self.pool.take_parked_srpt(),
+                    ResumeSel::MinKey => {
+                        // Smallest policy key wins; `min_by_key` keeps
+                        // the first (oldest) on ties.
+                        let policy = &self.policy;
+                        let pos = self
+                            .pool
+                            .iter_parked()
+                            .map(|(id, c)| policy.resume_key(&task_view(id, c)))
+                            .enumerate()
+                            .min_by_key(|&(_, key)| key)
+                            .map(|(pos, _)| pos);
+                        pos.and_then(|p| self.pool.take_parked_at(p))
+                    }
                 };
                 if let Some(id) = id { self.start_task(worker, id, true, ctx) }
             }
-            NextTask::Idle => {}
+            Dispatch::Idle => {}
         }
     }
 
@@ -1053,6 +1126,7 @@ impl LibPreemptibleSystem {
                         // Preemption landed exactly at completion:
                         // treat as completed.
                         let (arrived, class, total) = (c.arrived, c.class, c.total);
+                        let tv = task_view(id, self.pool.get(id));
                         self.pool.release(id);
                         self.obs.emit(
                             now,
@@ -1063,6 +1137,7 @@ impl LibPreemptibleSystem {
                             },
                         );
                         self.record_completion(arrived, class, total, now);
+                        self.policy.task_finished(&tv);
                     } else {
                         // Cache/TLB pollution: the resumed computation
                         // will take a bit longer.
@@ -1078,6 +1153,8 @@ impl LibPreemptibleSystem {
                                 ran_ns: executed.as_nanos(),
                             },
                         );
+                        let tv = task_view(id, self.pool.get(id));
+                        self.policy.task_preempted(&tv, executed);
                     }
                 }
                 self.disarm_deadline(worker, ctx);
@@ -1144,6 +1221,7 @@ impl LibPreemptibleSystem {
             (c.arrived, c.total)
         };
         self.pool.get_mut(id).remaining = SimDur::ZERO;
+        let tv = task_view(id, self.pool.get(id));
         self.pool.release(id);
         self.obs.emit(
             now,
@@ -1154,6 +1232,7 @@ impl LibPreemptibleSystem {
             },
         );
         self.record_completion(arrived, class, total, now);
+        self.policy.task_finished(&tv);
         let w = &mut self.workers[worker];
         w.seq += 1;
         w.state = WState::Idle;
@@ -1226,9 +1305,36 @@ impl Model for LibPreemptibleSystem {
                     .allocate(self.arrivals, req.arrived, req.service, req.class)
                 {
                     Ok(id) => {
-                        let w = self.shortest_queue();
+                        let now = ctx.now();
+                        let tv = task_view(id, self.pool.get(id));
+                        self.fill_depths();
+                        let (choice, enq) = {
+                            let queued: usize = self.depth_scratch.iter().sum();
+                            let mut sctx = SchedCtx {
+                                now,
+                                queue_depths: &self.depth_scratch,
+                                runnable: queued,
+                                parked: self.pool.parked(),
+                                window: self.last_window.as_ref(),
+                                obs: &mut self.obs,
+                            };
+                            let choice = self.policy.select_cpu(&tv, &mut sctx);
+                            let enq = self.policy.enqueue(&tv, &mut sctx);
+                            (choice, enq)
+                        };
+                        let (w, explicit) = match choice {
+                            Some(w) if w < self.workers.len() => (w, true),
+                            _ => (self.shortest_queue(), false),
+                        };
+                        self.obs.emit(
+                            now,
+                            Event::PolicyDispatch { worker: w as u16, explicit },
+                        );
                         self.window.on_queue_sample(self.workers[w].local.len());
-                        self.workers[w].local.push_back(id);
+                        match enq {
+                            Enqueue::Back => self.workers[w].local.push_back(id),
+                            Enqueue::Front => self.workers[w].local.push_front(id),
+                        }
                         if matches!(self.workers[w].state, WState::Idle) {
                             ctx.immediately(Ev::Pick { worker: w });
                         }
@@ -1286,8 +1392,9 @@ impl Model for LibPreemptibleSystem {
                 let now = ctx.now();
                 let summary = self.window.roll(now.as_nanos());
                 self.policy.on_window_observed(&summary, now, &mut self.obs);
+                self.last_window = Some(summary);
                 if let Some(ts) = self.quantum_series.as_mut() {
-                    let q = self.policy.quantum(0);
+                    let q = self.policy.quantum_hint(0);
                     if q != SimDur::MAX {
                         ts.record(now.as_nanos(), q.as_micros_f64());
                     }
@@ -1319,7 +1426,7 @@ impl Model for LibPreemptibleSystem {
 /// assert!(report.is_conserved());
 /// assert!(report.completions > 1_000);
 /// ```
-pub fn run(cfg: RuntimeConfig, policy: Box<dyn Policy>, spec: WorkloadSpec) -> RunReport {
+pub fn run(cfg: RuntimeConfig, policy: Box<dyn SchedPolicy>, spec: WorkloadSpec) -> RunReport {
     let system_name = format!("LibPreemptible[{:?}]/{}", cfg.mech, policy.name());
     let duration = spec.duration;
     let offered = spec.arrivals.peak_rate();
@@ -1381,7 +1488,7 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn Policy>, spec: WorkloadSpec) -> R
         qps_series: m.qps_series,
         quantum_series: m.quantum_series,
         slo_series: m.slo_series,
-        final_quantum: m.policy.quantum(0),
+        final_quantum: m.policy.quantum_hint(0),
         metrics: m.obs.snapshot(),
         events: m.obs.take_events(),
     }

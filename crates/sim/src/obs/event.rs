@@ -149,6 +149,27 @@ pub enum Event {
         /// Interrupted worker.
         worker: u16,
     },
+    /// The scheduling policy placed a dispatched request on a worker's
+    /// local queue (`select_cpu`), or declined and the runtime used
+    /// join-shortest-queue.
+    PolicyDispatch {
+        /// Worker whose local queue received the request.
+        worker: u16,
+        /// `true` when the policy chose the worker; `false` for the
+        /// runtime's JSQ fallback.
+        explicit: bool,
+    },
+    /// The scheduling policy granted a finite time slice to a task
+    /// starting (or resuming) on a worker. Not emitted for
+    /// run-to-completion slices or when preemption is disabled.
+    SliceGranted {
+        /// Worker the task starts on.
+        worker: u16,
+        /// Context-pool index of the task.
+        fiber: u32,
+        /// Granted slice length.
+        slice_ns: u64,
+    },
     /// Algorithm 1 changed the global time quantum.
     QuantumAdjusted {
         /// Quantum before the control step.
@@ -219,6 +240,8 @@ impl Event {
             Event::TaskFinish { .. } => "task_finish",
             Event::Preempt { .. } => "preempt",
             Event::SpuriousPreempt { .. } => "spurious_preempt",
+            Event::PolicyDispatch { .. } => "policy_dispatch",
+            Event::SliceGranted { .. } => "slice_granted",
             Event::QuantumAdjusted { .. } => "quantum_adjusted",
             Event::Marker { .. } => "marker",
             Event::FaultInjected { .. } => "fault_injected",
@@ -282,6 +305,13 @@ impl fmt::Display for Event {
             }
             Event::SpuriousPreempt { worker } => {
                 write!(f, "spurious preemption at worker {worker}")
+            }
+            Event::PolicyDispatch { worker, explicit } => {
+                let how = if explicit { "policy" } else { "jsq" };
+                write!(f, "dispatch to worker {worker} ({how})")
+            }
+            Event::SliceGranted { worker, fiber, slice_ns } => {
+                write!(f, "slice {slice_ns}ns granted to fiber {fiber} on worker {worker}")
             }
             Event::QuantumAdjusted { old_ns, new_ns } => {
                 write!(f, "quantum {old_ns}ns -> {new_ns}ns")
@@ -373,6 +403,12 @@ impl TimedEvent {
             }
             Event::Preempt { worker, fiber, ran_ns } => {
                 let _ = write!(out, ",\"worker\":{worker},\"fiber\":{fiber},\"ran_ns\":{ran_ns}");
+            }
+            Event::PolicyDispatch { worker, explicit } => {
+                let _ = write!(out, ",\"worker\":{worker},\"explicit\":{explicit}");
+            }
+            Event::SliceGranted { worker, fiber, slice_ns } => {
+                let _ = write!(out, ",\"worker\":{worker},\"fiber\":{fiber},\"slice_ns\":{slice_ns}");
             }
             Event::QuantumAdjusted { old_ns, new_ns } => {
                 let _ = write!(out, ",\"old_ns\":{old_ns},\"new_ns\":{new_ns}");
@@ -472,6 +508,15 @@ impl TimedEvent {
             "spurious_preempt" => {
                 Event::SpuriousPreempt { worker: field_u64(line, "worker")? as u16 }
             }
+            "policy_dispatch" => Event::PolicyDispatch {
+                worker: field_u64(line, "worker")? as u16,
+                explicit: field_bool(line, "explicit")?,
+            },
+            "slice_granted" => Event::SliceGranted {
+                worker: field_u64(line, "worker")? as u16,
+                fiber: field_u64(line, "fiber")? as u32,
+                slice_ns: field_u64(line, "slice_ns")?,
+            },
             "quantum_adjusted" => Event::QuantumAdjusted {
                 old_ns: field_u64(line, "old_ns")?,
                 new_ns: field_u64(line, "new_ns")?,
@@ -559,6 +604,8 @@ mod tests {
             Event::TaskFinish { worker: 0, fiber: 12, latency_ns: 88_000 },
             Event::Preempt { worker: 0, fiber: 12, ran_ns: 10_000 },
             Event::SpuriousPreempt { worker: 6 },
+            Event::PolicyDispatch { worker: 3, explicit: true },
+            Event::SliceGranted { worker: 3, fiber: 12, slice_ns: 10_000 },
             Event::QuantumAdjusted { old_ns: 30_000, new_ns: 25_000 },
             Event::Marker { code: 42 },
             Event::FaultInjected { worker: 1, kind: 0 },

@@ -46,11 +46,13 @@ pub enum Counter {
     PreemptRetries,
     MechDegradations,
     MechRecoveries,
+    PolicyDispatches,
+    SlicesGranted,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 34] = [
         Counter::UipiSent,
         Counter::UipiDelivered,
         Counter::UipiCoalesced,
@@ -83,6 +85,8 @@ impl Counter {
         Counter::PreemptRetries,
         Counter::MechDegradations,
         Counter::MechRecoveries,
+        Counter::PolicyDispatches,
+        Counter::SlicesGranted,
     ];
 
     /// Stable snake_case name (the JSONL/snapshot key).
@@ -120,6 +124,8 @@ impl Counter {
             Counter::PreemptRetries => "preempt_retries",
             Counter::MechDegradations => "mech_degradations",
             Counter::MechRecoveries => "mech_recoveries",
+            Counter::PolicyDispatches => "policy_dispatches",
+            Counter::SlicesGranted => "slices_granted",
         }
     }
 }
@@ -235,6 +241,8 @@ impl Metrics {
             Event::TaskFinish { .. } => self.bump(Counter::TaskFinishes),
             Event::Preempt { .. } => self.bump(Counter::Preemptions),
             Event::SpuriousPreempt { .. } => self.bump(Counter::SpuriousPreemptions),
+            Event::PolicyDispatch { .. } => self.bump(Counter::PolicyDispatches),
+            Event::SliceGranted { .. } => self.bump(Counter::SlicesGranted),
             Event::QuantumAdjusted { new_ns, .. } => {
                 self.bump(Counter::QuantumAdjustments);
                 self.set_gauge(Gauge::QuantumNs, new_ns as f64);

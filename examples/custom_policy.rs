@@ -6,49 +6,51 @@
 //! cargo run --release --example custom_policy
 //! ```
 //!
-//! The policy below is a *deadline-aware escalator*: every request
-//! starts with a generous quantum, but each time it gets preempted the
-//! policy (observing the window statistics) halves the quantum it
-//! grants — aging long requests toward finer-grained sharing while
-//! leaving short requests untouched. It is compared against plain
-//! preemptive FCFS with the same average quantum.
+//! The policy below is written directly against the `SchedPolicy`
+//! framework trait (`docs/POLICIES.md`): a *tail-aging escalator* that
+//! grants every request a generous slice, but — observing each closed
+//! control window — halves the slice it grants when the window's tail
+//! deteriorates, aging long requests toward finer-grained sharing
+//! while leaving short requests untouched. It is compared against
+//! plain preemptive FCFS with the same average quantum. A second
+//! example, `policy_placement`, shows the `select_cpu` placement hook.
 
-use libpreemptible::policy::{NextTask, Policy, ResumeOrder};
+use libpreemptible::sched::{Dispatch, ResumeSel, SchedCtx, SchedPolicy, TaskView};
 use libpreemptible::{run, FcfsPreempt, RuntimeConfig, ServiceSource, WorkloadSpec};
 use lp_sim::SimDur;
 use lp_stats::WindowSummary;
 use lp_workload::{PhasedService, RateSchedule, ServiceDist};
 
-/// Grants fresh requests a large quantum and shrinks it as window tail
-/// latency deteriorates — a ten-line policy, which is the point.
+/// Grants fresh requests a large slice and shrinks it as window tail
+/// latency deteriorates — a dozen-line policy, which is the point.
 #[derive(Debug)]
 struct TailAgingPolicy {
     quantum: SimDur,
 }
 
-impl Policy for TailAgingPolicy {
+impl SchedPolicy for TailAgingPolicy {
     fn name(&self) -> &'static str {
         "tail-aging (custom)"
     }
 
-    fn next_task(&mut self, new_waiting: usize, preempted_waiting: usize) -> NextTask {
-        // Short-job friendly: always drain fresh requests first.
-        if new_waiting > 0 {
-            NextTask::New
-        } else if preempted_waiting > 0 {
-            NextTask::Preempted
+    fn dispatch(&mut self, _cpu: usize, ctx: &mut SchedCtx<'_>) -> Dispatch {
+        // Short-job friendly: always drain fresh requests first, then
+        // resume the shortest leftover.
+        if ctx.runnable > 0 {
+            Dispatch::New
+        } else if ctx.parked > 0 {
+            Dispatch::Parked(ResumeSel::Srpt)
         } else {
-            NextTask::Idle
+            Dispatch::Idle
         }
     }
 
-    fn quantum(&self, _class: u8) -> SimDur {
+    fn time_slice(&mut self, _task: &TaskView, _ctx: &mut SchedCtx<'_>) -> SimDur {
         self.quantum
     }
 
-    fn resume_order(&self) -> ResumeOrder {
-        // Resume the shortest leftover first once we do resume.
-        ResumeOrder::Srpt
+    fn quantum_hint(&self, _class: u8) -> SimDur {
+        self.quantum
     }
 
     fn on_window(&mut self, s: &WindowSummary) {

@@ -1,0 +1,82 @@
+//! Markdown link hygiene: every relative link in the top-level and
+//! `docs/` markdown must resolve to a file (or directory) in the
+//! tree. Docs drift — a renamed file, a moved doc — fails here
+//! instead of shipping a dead link.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files whose links are checked, relative to the
+/// workspace root.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![
+        root.join("README.md"),
+        root.join("DESIGN.md"),
+        root.join("EXPERIMENTS.md"),
+        root.join("ROADMAP.md"),
+    ];
+    let docs = root.join("docs");
+    let mut entries: Vec<_> = std::fs::read_dir(&docs)
+        .expect("docs/ directory")
+        .map(|e| e.expect("readable docs/ entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    entries.sort();
+    files.extend(entries);
+    files.retain(|p| p.exists());
+    files
+}
+
+/// Extracts the `](target)` part of every inline markdown link in
+/// `text`. Good enough for this repo's docs: no reference-style links,
+/// no angle brackets, no nested parentheses in targets.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find("](") {
+        let tail = &rest[open + 2..];
+        let Some(close) = tail.find(')') else { break };
+        out.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files(root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().expect("doc file has a parent");
+        for target in link_targets(&text) {
+            // External links, mail, and in-page anchors are out of
+            // scope; strip a fragment from relative targets.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}: ]({})", file.display(), target));
+            }
+        }
+    }
+    assert!(
+        checked > 20,
+        "only {checked} relative links found — the extractor regressed"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken relative markdown links:\n  {}",
+        broken.join("\n  ")
+    );
+}

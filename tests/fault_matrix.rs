@@ -34,7 +34,10 @@ fn faulty_run(mech: PreemptMech, faults: FaultPlan) -> RunReport {
             workers: 4,
             mech,
             control_period: SimDur::millis(10),
-            trace_capacity: 1 << 16,
+            // Large enough to hold the whole run's trace: the policy
+            // vocabulary (policy_dispatch / slice_granted) roughly
+            // doubles the per-request event count.
+            trace_capacity: 1 << 17,
             faults,
             ..RuntimeConfig::default()
         },

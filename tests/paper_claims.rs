@@ -134,7 +134,7 @@ fn request_conservation_everywhere() {
             PreemptMech::None,
         ] {
             let rate = dist.rate_for_utilization(rho, 4);
-            let policy: Box<dyn libpreemptible::Policy> = if mech == PreemptMech::None {
+            let policy: Box<dyn libpreemptible::SchedPolicy> = if mech == PreemptMech::None {
                 Box::new(NonPreemptive)
             } else {
                 Box::new(FcfsPreempt::fixed(SimDur::micros(10)))

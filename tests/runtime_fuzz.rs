@@ -2,7 +2,8 @@
 //! and workloads must always conserve requests, stay deterministic,
 //! and keep accounting sane.
 
-use libpreemptible::policy::{FcfsPreempt, NonPreemptive, Policy, RoundRobin, SrptOracle};
+use libpreemptible::policy::{FcfsPreempt, NonPreemptive, RoundRobin, SrptOracle};
+use libpreemptible::sched::SchedPolicy;
 use libpreemptible::{run, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};
 use lp_hw::TimeClass;
 use lp_sim::SimDur;
@@ -49,7 +50,7 @@ fn case() -> impl Strategy<Value = FuzzCase> {
         )
 }
 
-fn build(case: &FuzzCase) -> (RuntimeConfig, Box<dyn Policy>, WorkloadSpec) {
+fn build(case: &FuzzCase) -> (RuntimeConfig, Box<dyn SchedPolicy>, WorkloadSpec) {
     let mech = match case.mech {
         0 => PreemptMech::Uintr,
         1 => PreemptMech::TimerCoreSignal,
@@ -57,7 +58,7 @@ fn build(case: &FuzzCase) -> (RuntimeConfig, Box<dyn Policy>, WorkloadSpec) {
         _ => PreemptMech::None,
     };
     let q = SimDur::micros(case.quantum_us);
-    let policy: Box<dyn Policy> = if mech == PreemptMech::None {
+    let policy: Box<dyn SchedPolicy> = if mech == PreemptMech::None {
         Box::new(NonPreemptive)
     } else {
         match case.policy {
