@@ -196,6 +196,13 @@ fn main() {
     let (par_out, par_secs) = timed_all(jobs);
     let identical = outputs_identical(&serial_out, &par_out);
     let speedup = serial_secs / par_secs;
+    // A fixed LP_JOBS=8 point rides along so the recorded matrix always
+    // has a host-independent parallel column next to the serial one
+    // (the `jobs` point above floats with the runner's default).
+    eprintln!("lp-bench: quick-scale all, 8 jobs ...");
+    let (par8_out, par8_secs) = timed_all(8);
+    let identical8 = outputs_identical(&serial_out, &par8_out);
+    let speedup8 = serial_secs / par8_secs;
 
     println!("engine.push_pop:        {:>12.0} events/s", push_pop);
     println!("engine.arm_cancel_rearm:{:>12.0} cycles/s", rearm);
@@ -213,16 +220,22 @@ fn main() {
         "all(quick).outputs:     {}",
         if identical { "identical" } else { "DIFFER" }
     );
+    println!("all(quick).parallel8:   {par8_secs:>12.2} s  (LP_JOBS=8)");
+    println!("all(quick).speedup8:    {speedup8:>12.2} x");
+    println!(
+        "all(quick).outputs8:    {}",
+        if identical8 { "identical" } else { "DIFFER" }
+    );
 
     if json {
         let body = format!(
-            "{{\n  \"schema\": \"lp-bench/1\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n"
+            "{{\n  \"schema\": \"lp-bench/2\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical},\n    \"parallel8_secs\": {par8_secs:.3},\n    \"speedup8\": {speedup8:.3},\n    \"outputs8_identical\": {identical8}\n  }}\n}}\n"
         );
         std::fs::write("BENCH_results.json", body).expect("write BENCH_results.json");
         eprintln!("lp-bench: wrote BENCH_results.json");
     }
 
-    if !identical {
+    if !identical || !identical8 {
         eprintln!("lp-bench: serial and parallel outputs differ — determinism regression");
         std::process::exit(1);
     }

@@ -11,8 +11,8 @@
 //!    `docs/TRACING.md` vocabulary, so metrics can never drift from the
 //!    model.
 //!
-//! `lp-check` turns both promises (plus the `unsafe` hygiene rules)
-//! into a CI gate with two engines:
+//! `lp-check` turns both promises (plus the `unsafe` hygiene and
+//! concurrency rules) into a CI gate with four engines:
 //!
 //! * [`lint`] — a token/line-level analyzer over all `crates/*/src`
 //!   files enforcing the declared rule table in [`rules`], with
@@ -23,13 +23,20 @@
 //!   [`UintrDomain`](lp_hw::uintr::UintrDomain) API through every
 //!   schedule of small sender/receiver programs and asserts the UPID
 //!   ON/SN/PIR protocol invariants on every path.
+//! * [`lifecycle`] — a sleep-set DPOR explorer over the runtime's
+//!   watchdog retry/degrade/recover machine and steal-shaped queue
+//!   programs.
+//! * [`race`] — a vector-clock happens-before race detector over the
+//!   deterministic `lp_sim::obs` event stream ([`hb`] holds the
+//!   graph).
 //!
-//! Run both from the workspace root:
+//! Run them from the workspace root:
 //!
 //! ```sh
 //! cargo run -p lp-check -- lint     # determinism/observability linter
-//! cargo run -p lp-check -- model    # exhaustive UINTR protocol check
-//! cargo run -p lp-check -- all      # both; nonzero exit on any finding
+//! cargo run -p lp-check -- model    # exhaustive UINTR + lifecycle check
+//! cargo run -p lp-check -- race --trace results/traces/figr.jsonl
+//! cargo run -p lp-check -- all      # lint + model; nonzero exit on any finding
 //! ```
 //!
 //! The rule catalogue and invariant list live in `docs/CHECKS.md`.
@@ -37,6 +44,31 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hb;
+pub mod lifecycle;
 pub mod lint;
 pub mod model;
+pub mod race;
 pub mod rules;
+
+/// Version of the compound `--json` schemas emitted by the CLI (`all`,
+/// `model`, `race`). Bump when keys move; `tests/static_analysis.rs`
+/// pins the `all` shape against a golden key-path list.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
+/// The combined `all --json` payload: lint findings plus both model
+/// checkers, under a top-level schema version. The CLI prints this
+/// verbatim; the tier-1 golden test re-derives it through this same
+/// function so binary and gate cannot drift.
+pub fn all_json(
+    lint: &lint::LintReport,
+    upid: &model::ModelReport,
+    lc: &lifecycle::LifecycleReport,
+) -> String {
+    format!(
+        "{{\"version\":{JSON_SCHEMA_VERSION},\"lint\":{},\"model\":{},\"lifecycle\":{}}}",
+        lint.to_json(),
+        upid.to_json(),
+        lc.to_json()
+    )
+}

@@ -1,0 +1,770 @@
+//! `lp-check model` v2: sleep-set DPOR exploration of the *real*
+//! watchdog/retry/degrade/recover machine.
+//!
+//! Where [`model`](crate::model) drives the UPID protocol
+//! (`lp_hw::uintr`), this module drives
+//! [`RetryMachine`] — the typed
+//! transition function the runtime's watchdog uses — through every
+//! inequivalent schedule of small concurrent scenario programs, with
+//! the fault (an IPI drop) as an explicit scheduled operation so every
+//! interleaving × fault combination is covered.
+//!
+//! Each scenario is a set of threads (a sender/watchdog thread and a
+//! receiver thread per worker, plus optional steal-queue threads); the
+//! explorer runs a depth-first search over schedules. In DPOR mode a
+//! **sleep set** is threaded through the search: after exploring
+//! thread `t` from a state, `t` enters the sleep set of its siblings'
+//! subtrees and any schedule that would merely commute `t` with an
+//! *independent* operation is pruned. Independence is decided by
+//! resource footprints (each op touches a worker and/or a steal
+//! queue; disjoint footprints commute). Sleep sets preserve one
+//! representative per Mazurkiewicz trace, so every reachable terminal
+//! state is still visited — the explorer asserts exactly that by
+//! comparing terminal-state fingerprints against naive enumeration.
+//!
+//! Invariants, on every path:
+//!
+//! * **no double delivery** — a `(worker, seq)` preemption lands at
+//!   most once;
+//! * **no lost preemption** — at every completed terminal, every
+//!   issued preemption landed, nothing is in flight, and the machine
+//!   holds no unresolved losses;
+//! * **monotone transitions** — degrade/recover strictly alternate,
+//!   starting with degrade;
+//! * **no stuck schedule** — threads never deadlock mid-program;
+//! * **steal exactly-once** — every queued task runs exactly once,
+//!   on exactly one worker.
+//!
+//! The model is bounded on purpose: the watchdog fires only on sends
+//! the fault actually dropped (a spurious watchdog race is the
+//! runtime's seq-check territory, covered by `lp-check race` and the
+//! runtime tests), and a dropped send is re-sent before anything else
+//! happens on that worker — program order within the sender thread
+//! guarantees it, schedules choose only *when*.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use libpreemptible::{RetryInput, RetryMachine, RetryOutput, WatchdogConfig};
+
+use crate::model::Mode;
+
+/// One schedulable operation of a scenario thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// The sender issues the next preemption for worker `w`'s current
+    /// run (through the machine: fast path, probe, or signal).
+    Issue { w: usize },
+    /// The fault: the in-flight UINTR send to worker `w` is dropped.
+    /// A no-op when the delivery already won the race or the send went
+    /// through the (reliable) signal path.
+    Drop { w: usize },
+    /// The watchdog declares worker `w`'s dropped send lost and
+    /// re-sends per the machine's verdict. A no-op when nothing was
+    /// dropped.
+    WdFire { w: usize },
+    /// Worker `w` observes the in-flight delivery. Blocks while the
+    /// send is dropped (that is what the watchdog is for).
+    Deliver { w: usize },
+    /// A producer enqueues task `task` on steal queue `q`.
+    Push { q: usize, task: u32 },
+    /// Queue `q`'s owner pops locally and runs the task. No-op when
+    /// the queue is empty (the owner idles).
+    Take { q: usize },
+    /// Worker `to` steals from queue `from` and runs the stolen task.
+    /// No-op when the queue is empty.
+    Steal { from: usize, to: usize },
+}
+
+impl Op {
+    /// Resource footprint bitmask: bits 0..4 are workers, 4.. are
+    /// steal queues. Ops with disjoint footprints commute.
+    fn footprint(self) -> u32 {
+        match self {
+            Op::Issue { w } | Op::Drop { w } | Op::WdFire { w } | Op::Deliver { w } => 1 << w,
+            Op::Push { q, .. } => 1 << (4 + q),
+            Op::Take { q } => (1 << (4 + q)) | (1 << q),
+            Op::Steal { from, to } => (1 << (4 + from)) | (1 << to),
+        }
+    }
+
+    fn independent(self, other: Op) -> bool {
+        self.footprint() & other.footprint() == 0
+    }
+}
+
+/// An in-flight preemption send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Inflight {
+    seq: u64,
+    uintr: bool,
+    dropped: bool,
+    attempt: u8,
+}
+
+/// Per-worker model state: the real machine plus the wires around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WorkerSt {
+    machine: RetryMachine,
+    /// Current run identity; advances when a preemption lands on it.
+    seq: u64,
+    inflight: Option<Inflight>,
+    /// Landed seqs, in landing order.
+    landed: Vec<u64>,
+    /// Degrade (`true`) / recover (`false`) transitions, in order.
+    transitions: Vec<bool>,
+    /// Stale arrivals (delivery after the run already advanced).
+    spurious: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct World {
+    workers: Vec<WorkerSt>,
+    queues: Vec<Vec<u32>>,
+    /// `(task, worker)` executions, steal scenarios only.
+    ran: Vec<(u32, usize)>,
+}
+
+impl World {
+    fn new(s: &Scenario) -> World {
+        World {
+            workers: (0..s.workers)
+                .map(|_| WorkerSt {
+                    machine: RetryMachine::new(&s.watchdog),
+                    seq: 0,
+                    inflight: None,
+                    landed: Vec::new(),
+                    transitions: Vec::new(),
+                    spurious: 0,
+                })
+                .collect(),
+            queues: vec![Vec::new(); s.queues],
+            ran: Vec::new(),
+        }
+    }
+
+    /// Order-independent terminal fingerprint. Schedules that commute
+    /// independent ops reach the *same* fingerprint, so naive and DPOR
+    /// coverage can be compared as sets.
+    fn fingerprint(&self) -> String {
+        let mut ran = self.ran.clone();
+        ran.sort_unstable();
+        let workers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| (w.machine.fingerprint(), w.seq, w.inflight.clone(), &w.landed, &w.transitions, w.spurious))
+            .collect();
+        format!("{workers:?} q={:?} ran={ran:?}", self.queues)
+    }
+
+    fn enabled(&self, op: Op) -> bool {
+        match op {
+            Op::Issue { w } => self.workers[w].inflight.is_none(),
+            Op::Deliver { w } => self.workers[w]
+                .inflight
+                .as_ref()
+                .is_some_and(|i| !i.dropped),
+            // Faults, watchdogs, and queue ops never block; when the
+            // race is already lost they degrade to no-ops.
+            Op::Drop { .. } | Op::WdFire { .. } => true,
+            Op::Push { .. } | Op::Take { .. } | Op::Steal { .. } => true,
+        }
+    }
+
+    /// Applies `op`; records any invariant violation it exposes.
+    fn apply(&mut self, op: Op, violations: &mut BTreeSet<String>) {
+        match op {
+            Op::Issue { w } => {
+                let st = &mut self.workers[w];
+                let seq = st.seq;
+                let verdict = st.machine.step(RetryInput::Send { seq });
+                let uintr = !matches!(verdict, RetryOutput::Signal);
+                st.inflight = Some(Inflight { seq, uintr, dropped: false, attempt: 0 });
+            }
+            Op::Drop { w } => {
+                if let Some(i) = &mut self.workers[w].inflight {
+                    if i.uintr && !i.dropped {
+                        i.dropped = true;
+                    }
+                }
+            }
+            Op::WdFire { w } => {
+                let st = &mut self.workers[w];
+                let Some(i) = st.inflight.clone() else { return };
+                if !i.dropped {
+                    return;
+                }
+                let verdict = st.machine.step(RetryInput::Lost { seq: i.seq, can_degrade: true });
+                match verdict {
+                    RetryOutput::Degrade { .. } => {
+                        record_transition(w, st, true, violations);
+                        st.inflight = Some(Inflight {
+                            seq: i.seq,
+                            uintr: false,
+                            dropped: false,
+                            attempt: i.attempt + 1,
+                        });
+                    }
+                    RetryOutput::Retry { uintr } => {
+                        st.inflight = Some(Inflight {
+                            seq: i.seq,
+                            uintr,
+                            dropped: false,
+                            attempt: i.attempt + 1,
+                        });
+                    }
+                    other => {
+                        violations.insert(format!(
+                            "worker {w}: Lost verdict must be Degrade or Retry, got {other:?}"
+                        ));
+                    }
+                }
+            }
+            Op::Deliver { w } => {
+                let st = &mut self.workers[w];
+                let Some(i) = st.inflight.take() else { return };
+                if i.seq != st.seq {
+                    st.spurious += 1;
+                    return;
+                }
+                if st.landed.contains(&i.seq) {
+                    violations.insert(format!(
+                        "worker {w}: preemption seq {} delivered twice",
+                        i.seq
+                    ));
+                }
+                st.landed.push(i.seq);
+                let verdict = st.machine.step(RetryInput::Landed { seq: i.seq, uintr: i.uintr });
+                if verdict == RetryOutput::Recovered {
+                    record_transition(w, st, false, violations);
+                }
+                st.seq += 1;
+            }
+            Op::Push { q, task } => self.queues[q].push(task),
+            Op::Take { q } => {
+                if !self.queues[q].is_empty() {
+                    let task = self.queues[q].remove(0);
+                    self.ran.push((task, q));
+                }
+            }
+            Op::Steal { from, to } => {
+                if let Some(task) = self.queues[from].pop() {
+                    self.ran.push((task, to));
+                }
+            }
+        }
+    }
+}
+
+/// Records a degrade (`true`) / recover (`false`) transition and
+/// checks monotonicity: strict alternation, starting with degrade.
+fn record_transition(w: usize, st: &mut WorkerSt, degrade: bool, violations: &mut BTreeSet<String>) {
+    match (st.transitions.last(), degrade) {
+        (None, false) => {
+            violations.insert(format!("worker {w}: recovered without a preceding degrade"));
+        }
+        (Some(&last), now) if last == now => {
+            let kind = if now { "degraded" } else { "recovered" };
+            violations.insert(format!(
+                "worker {w}: {kind} twice without the opposite transition in between"
+            ));
+        }
+        _ => {}
+    }
+    st.transitions.push(degrade);
+}
+
+/// One concurrent scenario program.
+struct Scenario {
+    name: &'static str,
+    workers: usize,
+    queues: usize,
+    watchdog: WatchdogConfig,
+    threads: Vec<Vec<Op>>,
+    /// Expected landed seqs per worker at completed terminals.
+    expect_landed: Vec<Vec<u64>>,
+    /// Tasks that must run exactly once (steal scenarios).
+    expect_ran: Vec<u32>,
+    /// Also run naive enumeration and assert equal terminal coverage.
+    compare_naive: bool,
+}
+
+fn shortened_watchdog(degrade_after: u32, probe_every: u32) -> WatchdogConfig {
+    WatchdogConfig { degrade_after, probe_every, ..WatchdogConfig::default() }
+}
+
+/// Per-worker thread pair driving one full degrade→probe→recover arc:
+/// the sender issues, the fault may drop, the watchdog re-sends, and a
+/// second issue while degraded goes out as the recovery probe.
+fn lifecycle_threads(w: usize) -> [Vec<Op>; 2] {
+    [
+        vec![Op::Issue { w }, Op::Drop { w }, Op::WdFire { w }, Op::Issue { w }],
+        vec![Op::Deliver { w }, Op::Deliver { w }],
+    ]
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut v = Vec::new();
+    {
+        let [s, r] = lifecycle_threads(0);
+        v.push(Scenario {
+            name: "degrade-recover-1w",
+            workers: 1,
+            queues: 0,
+            watchdog: shortened_watchdog(1, 1),
+            threads: vec![s, r],
+            expect_landed: vec![vec![0, 1]],
+            expect_ran: vec![],
+            compare_naive: true,
+        });
+    }
+    {
+        let [s0, r0] = lifecycle_threads(0);
+        let [s1, r1] = lifecycle_threads(1);
+        v.push(Scenario {
+            name: "degrade-recover-2w",
+            workers: 2,
+            queues: 0,
+            watchdog: shortened_watchdog(1, 1),
+            threads: vec![s0, r0, s1, r1],
+            expect_landed: vec![vec![0, 1], vec![0, 1]],
+            expect_ran: vec![],
+            compare_naive: true,
+        });
+    }
+    {
+        // Two consecutive losses are needed to cross the degrade
+        // threshold: the first watchdog fire must pick the UINTR
+        // retry path (losses below threshold), the second must
+        // degrade — unless a delivery won either race first.
+        v.push(Scenario {
+            name: "double-loss-degrade",
+            workers: 1,
+            queues: 0,
+            watchdog: shortened_watchdog(2, 1),
+            threads: vec![
+                vec![
+                    Op::Issue { w: 0 },
+                    Op::Drop { w: 0 },
+                    Op::WdFire { w: 0 },
+                    Op::Drop { w: 0 },
+                    Op::WdFire { w: 0 },
+                    Op::Issue { w: 0 },
+                ],
+                vec![Op::Deliver { w: 0 }, Op::Deliver { w: 0 }],
+            ],
+            expect_landed: vec![vec![0, 1]],
+            expect_ran: vec![],
+            compare_naive: true,
+        });
+    }
+    {
+        // The probe itself can be dropped: the machine must stay
+        // degraded (no false recovery) and still deliver through the
+        // signal fallback.
+        v.push(Scenario {
+            name: "probe-failure",
+            workers: 1,
+            queues: 0,
+            watchdog: shortened_watchdog(1, 1),
+            threads: vec![
+                vec![
+                    Op::Issue { w: 0 },
+                    Op::Drop { w: 0 },
+                    Op::WdFire { w: 0 },
+                    Op::Issue { w: 0 },
+                    Op::Drop { w: 0 },
+                    Op::WdFire { w: 0 },
+                ],
+                vec![Op::Deliver { w: 0 }, Op::Deliver { w: 0 }],
+            ],
+            expect_landed: vec![vec![0, 1]],
+            expect_ran: vec![],
+            compare_naive: true,
+        });
+    }
+    {
+        // Two-worker steal shape: each owner enqueues two tasks and
+        // drains locally while the opposite worker may steal one. The
+        // owner pushes before taking (program order), so a no-op Take
+        // can only mean the work was already stolen, never that it has
+        // not arrived yet.
+        v.push(Scenario {
+            name: "steal-2q",
+            workers: 2,
+            queues: 2,
+            watchdog: WatchdogConfig::default(),
+            threads: vec![
+                vec![
+                    Op::Push { q: 0, task: 10 },
+                    Op::Push { q: 0, task: 11 },
+                    Op::Take { q: 0 },
+                    Op::Take { q: 0 },
+                ],
+                vec![Op::Steal { from: 0, to: 1 }],
+                vec![
+                    Op::Push { q: 1, task: 20 },
+                    Op::Push { q: 1, task: 21 },
+                    Op::Take { q: 1 },
+                    Op::Take { q: 1 },
+                ],
+                vec![Op::Steal { from: 1, to: 0 }],
+            ],
+            expect_landed: vec![vec![], vec![]],
+            expect_ran: vec![10, 11, 20, 21],
+            compare_naive: true,
+        });
+    }
+    v
+}
+
+/// Exploration result for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Schedules a naive enumeration explores (only measured when the
+    /// scenario opts into the coverage comparison).
+    pub naive_schedules: Option<u64>,
+    /// Schedules the sleep-set search explores.
+    pub dpor_schedules: u64,
+    /// Distinct terminal-state fingerprints reached.
+    pub terminal_states: u64,
+    /// Invariant violations (deduplicated); empty when the scenario
+    /// holds.
+    pub violations: Vec<String>,
+}
+
+impl ScenarioResult {
+    /// Naive-to-DPOR schedule reduction factor, when measured.
+    pub fn reduction(&self) -> Option<f64> {
+        self.naive_schedules
+            .map(|n| n as f64 / self.dpor_schedules.max(1) as f64)
+    }
+}
+
+/// The full lifecycle-model report.
+#[derive(Debug, Clone)]
+pub struct LifecycleReport {
+    /// Per-scenario results, in declaration order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Which exploration mode produced `dpor_schedules` (`Por` uses
+    /// sleep sets; `Full` disables them everywhere).
+    pub mode: Mode,
+}
+
+impl LifecycleReport {
+    /// `true` when every scenario upheld every invariant.
+    pub fn holds(&self) -> bool {
+        self.scenarios.iter().all(|s| s.violations.is_empty())
+    }
+
+    /// Total schedules explored across scenarios (DPOR side).
+    pub fn total_schedules(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.dpor_schedules).sum()
+    }
+
+    /// Human-readable rendering.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lifecycle: {} scenario(s), {} schedule(s), {}",
+            self.scenarios.len(),
+            self.total_schedules(),
+            if self.holds() { "all invariants hold" } else { "INVARIANT VIOLATIONS" }
+        );
+        for s in &self.scenarios {
+            let red = match s.reduction() {
+                Some(r) => format!(
+                    ", naive {} -> {:.1}x reduction, coverage equal",
+                    s.naive_schedules.unwrap(),
+                    r
+                ),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {}: {} schedules, {} terminal states{red}",
+                s.name, s.dpor_schedules, s.terminal_states
+            );
+            for v in &s.violations {
+                let _ = writeln!(out, "    VIOLATION: {v}");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"holds\":{},\"total_schedules\":{},\"scenarios\":[",
+            self.holds(),
+            self.total_schedules()
+        );
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let naive = match s.naive_schedules {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"naive_schedules\":{naive},\"dpor_schedules\":{},\
+                 \"terminal_states\":{},\"violations\":[",
+                s.name, s.dpor_schedules, s.terminal_states
+            );
+            for (j, v) in s.violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", v.replace('"', "\\\""));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+struct Explorer<'a> {
+    scenario: &'a Scenario,
+    sleep_sets: bool,
+    schedules: u64,
+    terminals: BTreeSet<String>,
+    violations: BTreeSet<String>,
+}
+
+impl<'a> Explorer<'a> {
+    fn run(scenario: &'a Scenario, sleep_sets: bool) -> (u64, BTreeSet<String>, BTreeSet<String>) {
+        let mut e = Explorer {
+            scenario,
+            sleep_sets,
+            schedules: 0,
+            terminals: BTreeSet::new(),
+            violations: BTreeSet::new(),
+        };
+        let world = World::new(scenario);
+        let pcs = vec![0usize; scenario.threads.len()];
+        e.explore(&world, &pcs, Vec::new());
+        (e.schedules, e.terminals, e.violations)
+    }
+
+    fn next_op(&self, pcs: &[usize], t: usize) -> Option<Op> {
+        self.scenario.threads[t].get(pcs[t]).copied()
+    }
+
+    fn explore(&mut self, world: &World, pcs: &[usize], sleep: Vec<usize>) {
+        let enabled: Vec<usize> = (0..pcs.len())
+            .filter(|&t| self.next_op(pcs, t).is_some_and(|op| world.enabled(op)))
+            .collect();
+        if enabled.is_empty() {
+            self.schedules += 1;
+            if pcs
+                .iter()
+                .enumerate()
+                .any(|(t, &pc)| pc < self.scenario.threads[t].len())
+            {
+                self.violations.insert(format!(
+                    "stuck schedule: threads blocked at {pcs:?} with no enabled op"
+                ));
+            } else {
+                self.check_complete(world);
+            }
+            self.terminals.insert(world.fingerprint());
+            return;
+        }
+        let mut explored: Vec<usize> = Vec::new();
+        for &t in &enabled {
+            if sleep.contains(&t) {
+                continue;
+            }
+            let op = self.next_op(pcs, t).expect("enabled thread has an op");
+            let child_sleep: Vec<usize> = if self.sleep_sets {
+                sleep
+                    .iter()
+                    .chain(explored.iter())
+                    .copied()
+                    .filter(|&q| {
+                        self.next_op(pcs, q)
+                            .is_some_and(|oq| oq.independent(op))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut w2 = world.clone();
+            w2.apply(op, &mut self.violations);
+            let mut pcs2 = pcs.to_vec();
+            pcs2[t] += 1;
+            self.explore(&w2, &pcs2, child_sleep);
+            if self.sleep_sets {
+                explored.push(t);
+            }
+        }
+    }
+
+    /// Invariants that only make sense once every thread finished.
+    fn check_complete(&mut self, world: &World) {
+        for (w, st) in world.workers.iter().enumerate() {
+            if st.inflight.is_some() {
+                self.violations.insert(format!(
+                    "worker {w}: preemption still in flight at a completed terminal (lost)"
+                ));
+            }
+            if st.landed != self.scenario.expect_landed[w] {
+                self.violations.insert(format!(
+                    "worker {w}: landed {:?}, expected {:?} (lost preemption)",
+                    st.landed, self.scenario.expect_landed[w]
+                ));
+            }
+            let (losses, _, _, _) = st.machine.fingerprint();
+            if losses != 0 {
+                self.violations.insert(format!(
+                    "worker {w}: machine holds {losses} unresolved losses at a completed terminal"
+                ));
+            }
+        }
+        if !self.scenario.expect_ran.is_empty() {
+            let mut ran: Vec<u32> = world.ran.iter().map(|&(task, _)| task).collect();
+            ran.sort_unstable();
+            if ran != self.scenario.expect_ran {
+                self.violations.insert(format!(
+                    "steal: ran {ran:?}, expected each of {:?} exactly once",
+                    self.scenario.expect_ran
+                ));
+            }
+        }
+    }
+}
+
+/// Explores every scenario. `Mode::Por` uses sleep-set DPOR (and, for
+/// scenarios that opt in, cross-checks terminal coverage against a
+/// naive enumeration); `Mode::Full` enumerates naively everywhere.
+pub fn check_default(mode: Mode) -> LifecycleReport {
+    let scenarios = scenarios();
+    let mut results = Vec::with_capacity(scenarios.len());
+    for s in &scenarios {
+        let (dpor_schedules, dpor_terms, mut violations) =
+            Explorer::run(s, mode == Mode::Por);
+        let naive_schedules = if s.compare_naive && mode == Mode::Por {
+            let (n, naive_terms, nv) = Explorer::run(s, false);
+            violations.extend(nv);
+            if naive_terms != dpor_terms {
+                violations.insert(format!(
+                    "{}: DPOR terminal coverage differs from naive ({} vs {})",
+                    s.name,
+                    dpor_terms.len(),
+                    naive_terms.len()
+                ));
+            }
+            Some(n)
+        } else {
+            None
+        };
+        results.push(ScenarioResult {
+            name: s.name,
+            naive_schedules,
+            dpor_schedules,
+            terminal_states: dpor_terms.len() as u64,
+            violations: violations.into_iter().collect(),
+        });
+    }
+    LifecycleReport { scenarios: results, mode }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_hold_under_dpor() {
+        let r = check_default(Mode::Por);
+        assert!(r.holds(), "{}", r.human());
+        assert!(r.total_schedules() > 0);
+    }
+
+    #[test]
+    fn all_scenarios_hold_under_naive_enumeration() {
+        let r = check_default(Mode::Full);
+        assert!(r.holds(), "{}", r.human());
+    }
+
+    #[test]
+    fn dpor_reduces_at_least_10x_with_equal_coverage() {
+        let r = check_default(Mode::Por);
+        let flagship = r
+            .scenarios
+            .iter()
+            .find(|s| s.name == "degrade-recover-2w")
+            .expect("flagship scenario present");
+        let reduction = flagship.reduction().expect("naive comparison ran");
+        assert!(
+            reduction >= 10.0,
+            "expected >=10x reduction, got {reduction:.1}x \
+             ({:?} naive vs {} dpor)",
+            flagship.naive_schedules,
+            flagship.dpor_schedules
+        );
+        // Coverage equality is asserted inside check_default; holds()
+        // failing would surface a mismatch as a violation.
+        assert!(r.holds(), "{}", r.human());
+    }
+
+    #[test]
+    fn lost_preemption_mutant_is_caught() {
+        // A scenario whose watchdog never fires after the drop: the
+        // preemption is genuinely lost, and the explorer must say so.
+        let s = Scenario {
+            name: "mutant-no-watchdog",
+            workers: 1,
+            queues: 0,
+            watchdog: shortened_watchdog(1, 1),
+            threads: vec![
+                vec![Op::Issue { w: 0 }, Op::Drop { w: 0 }],
+                vec![Op::Deliver { w: 0 }],
+            ],
+            expect_landed: vec![vec![0]],
+            expect_ran: vec![],
+            compare_naive: false,
+        };
+        let (_, _, violations) = Explorer::run(&s, true);
+        assert!(
+            violations.iter().any(|v| v.contains("stuck schedule")),
+            "the dropped-and-never-retried path must strand the receiver: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn double_delivery_mutant_is_caught() {
+        // Two sends for the same run with no seq advance in between
+        // cannot happen through the real machine API; emulate the bug
+        // by delivering a cloned inflight twice.
+        let s = scenarios().remove(0);
+        let mut world = World::new(&s);
+        let mut violations = BTreeSet::new();
+        world.apply(Op::Issue { w: 0 }, &mut violations);
+        let saved = world.workers[0].inflight.clone();
+        world.apply(Op::Deliver { w: 0 }, &mut violations);
+        world.workers[0].inflight = saved;
+        world.workers[0].seq = 0; // the buggy runtime forgot to advance
+        world.apply(Op::Deliver { w: 0 }, &mut violations);
+        assert!(
+            violations.iter().any(|v| v.contains("delivered twice")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let r = check_default(Mode::Por);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"holds\":true,\"total_schedules\":"));
+        assert!(j.contains("\"name\":\"degrade-recover-2w\""));
+        assert!(j.contains("\"naive_schedules\":"));
+    }
+}

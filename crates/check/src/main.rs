@@ -1,4 +1,4 @@
-//! The `lp-check` CLI: `lint`, `model`, or `all`.
+//! The `lp-check` CLI: `lint`, `model`, `race`, or `all`.
 //!
 //! Exit status: 0 when clean, 1 on violations, 2 on usage errors.
 
@@ -6,23 +6,27 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lp_check::model::Mode;
-use lp_check::{lint, model};
+use lp_check::{lifecycle, lint, model, race, JSON_SCHEMA_VERSION};
 
 const USAGE: &str = "\
-usage: lp-check <lint|model|all> [options]
+usage: lp-check <lint|model|race|all> [options]
 
 subcommands:
   lint    walk crates/*/src and enforce the determinism/observability
           rule table (docs/CHECKS.md)
   model   exhaustively explore the UPID sender/receiver interleavings
-          and check the protocol invariants
+          and the watchdog retry/degrade/recover lifecycle (DPOR) and
+          check the protocol invariants
+  race    happens-before race detection over exported JSONL traces
+          (--trace, repeatable)
   all     lint + model
 
 options:
-  --json         machine-readable output
-  --root <path>  workspace root (default: discovered from cwd)
-  --por          model: prune with partial-order reduction instead of
-                 enumerating every schedule
+  --json          machine-readable output
+  --root <path>   workspace root (default: discovered from cwd)
+  --por           model: prune with partial-order reduction instead of
+                  enumerating every schedule
+  --trace <path>  race: a JSONL trace to analyze (repeatable)
 ";
 
 struct Args {
@@ -30,12 +34,13 @@ struct Args {
     json: bool,
     por: bool,
     root: Option<PathBuf>,
+    traces: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let cmd = argv.next().ok_or_else(|| "missing subcommand".to_string())?;
-    let mut args = Args { cmd, json: false, por: false, root: None };
+    let mut args = Args { cmd, json: false, por: false, root: None, traces: Vec::new() };
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--json" => args.json = true,
@@ -43,6 +48,10 @@ fn parse_args() -> Result<Args, String> {
             "--root" => {
                 let p = argv.next().ok_or_else(|| "--root needs a path".to_string())?;
                 args.root = Some(PathBuf::from(p));
+            }
+            "--trace" => {
+                let p = argv.next().ok_or_else(|| "--trace needs a path".to_string())?;
+                args.traces.push(PathBuf::from(p));
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -64,13 +73,17 @@ fn discover_root() -> Option<PathBuf> {
     }
 }
 
-fn run_lint(args: &Args) -> Result<bool, String> {
+fn lint_report(args: &Args) -> Result<lint::LintReport, String> {
     let root = args
         .root
         .clone()
         .or_else(discover_root)
         .ok_or_else(|| "could not find the workspace root; pass --root".to_string())?;
-    let report = lint::lint_workspace(&root).map_err(|e| format!("lint failed: {e}"))?;
+    lint::lint_workspace(&root).map_err(|e| format!("lint failed: {e}"))
+}
+
+fn run_lint(args: &Args) -> Result<bool, String> {
+    let report = lint_report(args)?;
     if args.json {
         println!("{}", report.to_json());
     } else {
@@ -79,17 +92,75 @@ fn run_lint(args: &Args) -> Result<bool, String> {
     Ok(report.is_clean())
 }
 
-fn run_model(args: &Args) -> bool {
+fn model_reports(args: &Args) -> (model::ModelReport, lifecycle::LifecycleReport, bool) {
     let mode = if args.por { Mode::Por } else { Mode::Full };
-    let report = model::check_default(mode);
-    if args.json {
-        println!("{}", report.to_json());
-    } else {
-        print!("{}", report.human());
-    }
+    let upid = model::check_default(mode);
+    let lc = lifecycle::check_default(mode);
     // The CI gate: every invariant holds, and (in full mode) the suite
     // actually enumerated a meaningful schedule count.
-    report.holds() && (mode == Mode::Por || report.total_schedules() >= 1000)
+    let ok = upid.holds()
+        && lc.holds()
+        && (mode == Mode::Por || upid.total_schedules() >= 1000);
+    (upid, lc, ok)
+}
+
+fn run_model(args: &Args) -> bool {
+    let (upid, lc, ok) = model_reports(args);
+    if args.json {
+        println!(
+            "{{\"version\":{JSON_SCHEMA_VERSION},\"upid\":{},\"lifecycle\":{}}}",
+            upid.to_json(),
+            lc.to_json()
+        );
+    } else {
+        print!("{}", upid.human());
+        print!("{}", lc.human());
+    }
+    ok
+}
+
+fn run_race(args: &Args) -> Result<bool, String> {
+    if args.traces.is_empty() {
+        return Err("race needs at least one --trace <path>".to_string());
+    }
+    let mut ok = true;
+    let mut json_parts = Vec::new();
+    for path in &args.traces {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report = race::analyze_jsonl(&text);
+        ok &= report.is_clean();
+        if args.json {
+            json_parts.push(format!(
+                "{{\"path\":\"{}\",\"report\":{}}}",
+                path.display(),
+                report.to_json()
+            ));
+        } else {
+            println!("== {} ==", path.display());
+            print!("{}", report.human());
+        }
+    }
+    if args.json {
+        println!(
+            "{{\"version\":{JSON_SCHEMA_VERSION},\"traces\":[{}]}}",
+            json_parts.join(",")
+        );
+    }
+    Ok(ok)
+}
+
+fn run_all(args: &Args) -> Result<bool, String> {
+    let lint_report = lint_report(args)?;
+    let (upid, lc, model_ok) = model_reports(args);
+    if args.json {
+        println!("{}", lp_check::all_json(&lint_report, &upid, &lc));
+    } else {
+        print!("{}", lint_report.human());
+        print!("{}", upid.human());
+        print!("{}", lc.human());
+    }
+    Ok(lint_report.is_clean() && model_ok)
 }
 
 fn main() -> ExitCode {
@@ -109,17 +180,20 @@ fn main() -> ExitCode {
             }
         },
         "model" => run_model(&args),
-        "all" => {
-            let lint_ok = match run_lint(&args) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    eprintln!("lp-check: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let model_ok = run_model(&args);
-            lint_ok && model_ok
-        }
+        "race" => match run_race(&args) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("lp-check: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        "all" => match run_all(&args) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("lp-check: {e}");
+                return ExitCode::from(2);
+            }
+        },
         other => {
             eprintln!("lp-check: unknown subcommand `{other}`\n{USAGE}");
             return ExitCode::from(2);

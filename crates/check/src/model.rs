@@ -311,14 +311,14 @@ impl World {
     }
 
     /// Fingerprint for the PoR memo: everything the future depends on.
-    fn fingerprint(&self) -> (bool, bool, u64, u8, u64, u64, u64) {
+    fn fingerprint(&self) -> ((bool, bool, u64), u8, u64, u64, u64) {
         let u = self.dom.upid(self.h).expect("receiver registered");
         let rs = match self.recv_state {
             ReceiverState::RunningUifSet => 0u8,
             ReceiverState::RunningUifClear => 1,
             ReceiverState::Blocked => 2,
         };
-        (u.outstanding, u.suppress, u.pending, rs, self.sent, self.drained, self.live)
+        (u.state_key(), rs, self.sent, self.drained, self.live)
     }
 
     /// Applies one op; returns the invariant it broke, if any.
@@ -481,7 +481,7 @@ struct Explorer<'a> {
     sc: &'a Scenario,
     mode: Mode,
     report: ScenarioReport,
-    memo: BTreeSet<(Vec<usize>, (bool, bool, u64, u8, u64, u64, u64))>,
+    memo: BTreeSet<(Vec<usize>, ((bool, bool, u64), u8, u64, u64, u64))>,
     trace: Vec<String>,
 }
 

@@ -26,13 +26,21 @@ pub enum RuleId {
     /// Scheduling-policy modules must be pure: no wall clocks, no
     /// ad-hoc RNG, no environment reads.
     PolicyPurity,
+    /// `Ordering::Relaxed` is banned outside a documented static
+    /// allowlist.
+    RelaxedOrdering,
+    /// Cross-worker obs events must carry a worker (or slot) identity.
+    WorkerId,
+    /// Watchdog retry/degrade/recover state changes only through
+    /// `RetryMachine::step`, never raw field writes.
+    RetryTransition,
     /// A malformed suppression comment (missing rule or reason).
     BadAllow,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::Nondet,
         RuleId::ObsPair,
         RuleId::UnsafeScope,
@@ -40,6 +48,9 @@ impl RuleId {
         RuleId::NoPrint,
         RuleId::FaultRng,
         RuleId::PolicyPurity,
+        RuleId::RelaxedOrdering,
+        RuleId::WorkerId,
+        RuleId::RetryTransition,
         RuleId::BadAllow,
     ];
 
@@ -54,6 +65,9 @@ impl RuleId {
             RuleId::NoPrint => "no-print",
             RuleId::FaultRng => "fault-rng",
             RuleId::PolicyPurity => "policy-purity",
+            RuleId::RelaxedOrdering => "relaxed-ordering",
+            RuleId::WorkerId => "worker-id",
+            RuleId::RetryTransition => "retry-transition",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -98,6 +112,22 @@ impl RuleId {
                  state (docs/POLICIES.md); a wall clock, entropy source, or environment \
                  read inside the policy zoo would desynchronize the schedule from the \
                  master seed and break every byte-identity guarantee downstream"
+            }
+            RuleId::RelaxedOrdering => {
+                "Relaxed atomics order nothing; a Relaxed access on a cross-thread \
+                 handoff path is exactly the class of bug `lp-check race` hunts in \
+                 traces, so every use must sit on the audited static allowlist with a \
+                 written argument for why no ordering is needed"
+            }
+            RuleId::WorkerId => {
+                "the happens-before engine assigns events to per-worker actors by \
+                 their worker id; a cross-worker event without one cannot be placed \
+                 in the causality graph and silently weakens every race verdict"
+            }
+            RuleId::RetryTransition => {
+                "the watchdog's losses/degraded/probe state is model-checked through \
+                 RetryMachine::step (lp-check model); a raw field write bypasses the \
+                 typed transition function and voids the explored guarantees"
             }
             RuleId::BadAllow => {
                 "a suppression without a known rule id and a reason defeats the audit \
@@ -217,6 +247,54 @@ pub const POLICY_PURITY_TOKENS: [&str; 9] = [
     "std::env",
     "thread_rng",
 ];
+
+/// The static per-file allowance for [`RuleId::RelaxedOrdering`]:
+/// `(file, reason)` pairs naming the only places `Ordering::Relaxed`
+/// may appear. Hits here are reported as suppressed diagnostics so the
+/// audit trail stays visible; anywhere else the rule fails the build.
+pub const RELAXED_ALLOWLIST: [(&str, &str); 1] = [(
+    "crates/sim/src/par.rs",
+    "a work-claiming counter: fetch_add's atomicity alone guarantees \
+     index uniqueness, and result publication is ordered by the per-slot \
+     Mutex, so no cross-thread data flows through this ordering",
+)];
+
+/// The documented reason `file` may use `Ordering::Relaxed`, if the
+/// static allowlist covers it.
+pub fn relaxed_file_allowance(file: &str) -> Option<&'static str> {
+    RELAXED_ALLOWLIST
+        .iter()
+        .find(|(f, _)| *f == file)
+        .map(|&(_, why)| why)
+}
+
+/// The file [`RuleId::WorkerId`] polices: the obs event vocabulary.
+pub const EVENT_VOCAB_FILE: &str = "crates/sim/src/obs/event.rs";
+
+/// `Event` variants allowed to omit a `worker`/`slot` identity because
+/// they are not cross-worker: dispatcher-global admission events,
+/// timer-core aggregates, and free-form markers. Everything else must
+/// say which worker it concerns or the happens-before engine cannot
+/// place it ([`RuleId::WorkerId`]).
+pub const WORKERLESS_EVENTS: [&str; 6] = [
+    "Arrival",
+    "Drop",
+    "IpcSampled",
+    "Marker",
+    "QuantumAdjusted",
+    "TimerPoll",
+];
+
+/// The crate [`RuleId::RetryTransition`] polices and the one file
+/// inside it that legitimately mutates the machine's fields.
+pub const RETRY_STATE_CRATE: &str = "preemptible";
+/// The typed-transition-function home, exempt from the rule.
+pub const RETRY_STATE_FILE: &str = "crates/preemptible/src/retry.rs";
+
+/// Field names of the watchdog health state. A write access spelled
+/// `.{field} = / += / -=` outside [`RETRY_STATE_FILE`] bypasses
+/// `RetryMachine::step` and fires [`RuleId::RetryTransition`].
+pub const RETRY_STATE_FIELDS: [&str; 4] = ["losses", "degraded", "degraded_sends", "probe_for"];
 
 #[cfg(test)]
 mod tests {

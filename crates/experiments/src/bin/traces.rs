@@ -1,0 +1,44 @@
+//! Exports deterministic JSONL event traces for the shipped figures'
+//! workload shapes, as inputs for `lp-check race` (CI and tier-1 run
+//! it over these files and require zero findings).
+//!
+//! Two traces, both quick-scale so the export stays fast:
+//!
+//! * `fig2.jsonl` — the Fig. 2 shape: heavy-tailed bimodal service on
+//!   16 workers under a 25 us UINTR quantum (fault-free).
+//! * `figr.jsonl` — the Fig. R shape: constant 400 us service on 4
+//!   workers under a 20 us quantum with a 10% IPI drop rate, so the
+//!   watchdog retry/degrade/recover machinery is exercised end to end.
+//!
+//! The recipes live in `lp_experiments::traces`, shared with the
+//! tier-1 gate. Files land under `results/traces/`. Byte-deterministic
+//! per seed — the same property `tests/observability.rs` pins for the
+//! ring.
+
+use lp_experiments::common::Scale;
+use lp_experiments::traces::{fig2_trace, figr_trace};
+use lp_experiments::DEFAULT_SEED;
+
+fn write_trace(name: &str, jsonl: &str) {
+    let dir = std::path::Path::new("results/traces");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("traces: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, jsonl) {
+        eprintln!("traces: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({} events)",
+        path.display(),
+        jsonl.lines().count()
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env(Scale::Quick);
+    write_trace("fig2.jsonl", &fig2_trace(scale, DEFAULT_SEED));
+    write_trace("figr.jsonl", &figr_trace(scale, DEFAULT_SEED));
+}

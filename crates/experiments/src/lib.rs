@@ -36,6 +36,7 @@ pub mod runner;
 pub mod table1;
 pub mod table4;
 pub mod tournament;
+pub mod traces;
 
 pub use common::{PaperWorkload, Scale, SystemUnderTest};
 

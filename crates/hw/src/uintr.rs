@@ -64,6 +64,16 @@ pub struct Upid {
     pub ndst: Option<CoreId>,
 }
 
+impl Upid {
+    /// The architectural state a future send/delivery depends on:
+    /// `(ON, SN, PUIR)`. Model checkers hash this to deduplicate
+    /// explored states; `ndst` is routing, not protocol state, and is
+    /// deliberately excluded.
+    pub fn state_key(&self) -> (bool, bool, u64) {
+        (self.outstanding, self.suppress, self.pending)
+    }
+}
+
 /// Scheduling/masking state of a receiver thread at send time. The
 /// runtime layer knows this; the architecture reacts to it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

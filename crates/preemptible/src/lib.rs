@@ -60,5 +60,5 @@ pub use policy::{
 };
 pub use sched::{Dispatch, Enqueue, ResumeSel, SchedCtx, SchedPolicy, TaskView};
 pub use report::RunReport;
-pub use retry::{Backoff, WatchdogConfig};
+pub use retry::{Backoff, RetryInput, RetryMachine, RetryOutput, WatchdogConfig};
 pub use runtime::{run, LibPreemptibleSystem, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec};

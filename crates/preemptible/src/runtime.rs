@@ -38,7 +38,7 @@ use rand::rngs::SmallRng;
 use crate::context::{Context, ContextId, ContextPool};
 use crate::report::RunReport;
 use crate::sched::{Dispatch, Enqueue, ResumeSel, SchedCtx, SchedPolicy, TaskView};
-use crate::retry::WatchdogConfig;
+use crate::retry::{RetryInput, RetryMachine, RetryOutput, WatchdogConfig};
 use crate::utimer::{SlotId, UtimerRegistry};
 
 /// How workers get preempted.
@@ -238,17 +238,11 @@ struct Worker {
     /// Fault-injected stall window; preemption arrivals are deferred
     /// past it. Always closed when injection is disabled.
     hog: HogWindow,
-    /// Consecutive lost preemptions seen by the watchdog.
-    losses: u32,
-    /// `true` once the worker fell back from UINTR to signal delivery.
-    degraded: bool,
-    /// Preemptions sent while degraded (drives the probe cadence).
-    degraded_sends: u64,
-    /// Run sequence of the in-flight UINTR recovery probe, if any. A
-    /// probe succeeds only when its own arrival comes back over UINTR —
-    /// a signal retry or task finish advancing the sequence is not
-    /// evidence the fast path healed.
-    probe_for: Option<u64>,
+    /// The retry/degrade/recover health machine (`retry.rs`). Every
+    /// loss-streak, degradation, and probe transition goes through its
+    /// typed `step` — raw writes are rejected by the
+    /// `retry-transition` lint.
+    retry: RetryMachine,
     /// The armed lost-preemption deadline, if injection is enabled and
     /// a send is outstanding. Observed by the throttled scan driven
     /// from the event loop (see [`Model::handle`]).
@@ -365,10 +359,7 @@ impl LibPreemptibleSystem {
                     seq: 0,
                     ktimer: KernelTimer::new(cfg.kernel.clone(), rng(cfg.seed, 100 + slot.index() as u64)),
                     hog: HogWindow::none(),
-                    losses: 0,
-                    degraded: false,
-                    degraded_sends: 0,
-                    probe_for: None,
+                    retry: RetryMachine::new(&cfg.watchdog),
                     wd: None,
                 }
             })
@@ -780,30 +771,24 @@ impl LibPreemptibleSystem {
             };
             match self.cfg.mech {
                 PreemptMech::Uintr => {
-                    let probe = if self.workers[worker].degraded {
-                        let w = &mut self.workers[worker];
-                        w.degraded_sends += 1;
-                        w.degraded_sends % u64::from(self.cfg.watchdog.probe_every) == 0
-                    } else {
-                        false
-                    };
-                    if self.workers[worker].degraded && !probe {
-                        // Degraded worker: the timer core tgkill()s it
-                        // instead of trusting the broken UINTR path.
-                        self.send_preempt_signal(worker, seq, issue_at, 0, ctx);
-                        issue_at += self.cfg.kernel.syscall;
-                    } else {
-                        // The timer core executes SENDUIPI per target,
-                        // serially. A degraded worker gets here only on
-                        // its probe turns.
-                        let issue = self.jitter(self.cfg.hw.senduipi_issue);
-                        issue_at += issue;
-                        self.timer_clock
-                            .charge_observed(TimeClass::Preemption, issue, &mut self.obs);
-                        if probe {
-                            self.workers[worker].probe_for = Some(seq);
+                    match self.workers[worker].retry.step(RetryInput::Send { seq }) {
+                        RetryOutput::Signal => {
+                            // Degraded worker: the timer core tgkill()s it
+                            // instead of trusting the broken UINTR path.
+                            self.send_preempt_signal(worker, seq, issue_at, 0, ctx);
+                            issue_at += self.cfg.kernel.syscall;
                         }
-                        self.send_preempt_uipi(worker, seq, issue_at, 0, probe, ctx);
+                        verdict => {
+                            // The timer core executes SENDUIPI per target,
+                            // serially. A degraded worker gets here only on
+                            // its probe turns.
+                            let issue = self.jitter(self.cfg.hw.senduipi_issue);
+                            issue_at += issue;
+                            self.timer_clock
+                                .charge_observed(TimeClass::Preemption, issue, &mut self.obs);
+                            let probe = verdict == RetryOutput::Probe;
+                            self.send_preempt_uipi(worker, seq, issue_at, 0, probe, ctx);
+                        }
                     }
                 }
                 PreemptMech::TimerCoreSignal => {
@@ -832,6 +817,15 @@ impl LibPreemptibleSystem {
         repair: bool,
         ctx: &mut Ctx<'_, Ev>,
     ) {
+        self.obs.emit(
+            at,
+            Event::PreemptIssued {
+                worker: worker as u16,
+                seq,
+                attempt: attempt.min(u32::from(u8::MAX)) as u8,
+                uintr: true,
+            },
+        );
         let fault = self.injector.as_mut().and_then(|i| i.ipi());
         if let Some(f) = fault {
             self.obs.emit(
@@ -889,6 +883,15 @@ impl LibPreemptibleSystem {
         attempt: u32,
         ctx: &mut Ctx<'_, Ev>,
     ) {
+        self.obs.emit(
+            at,
+            Event::PreemptIssued {
+                worker: worker as u16,
+                seq,
+                attempt: attempt.min(u32::from(u8::MAX)) as u8,
+                uintr: false,
+            },
+        );
         let fault = self.injector.as_mut().and_then(|i| i.signal());
         if let Some(f) = fault {
             self.obs.emit(
@@ -1001,56 +1004,45 @@ impl LibPreemptibleSystem {
         let lost = self.workers[worker].seq == seq
             && matches!(self.workers[worker].state, WState::Running { .. });
         if !lost {
-            let w = &mut self.workers[worker];
-            w.losses = 0;
-            if w.probe_for == Some(seq) {
-                // The probe's run ended without a UINTR arrival (the
-                // preemption landed another way, or the task finished):
-                // no verdict either way, drop it.
-                w.probe_for = None;
+            // The victim moved on: the send landed another way or the
+            // task finished. Settle the streak (and any probe).
+            self.workers[worker].retry.step(RetryInput::Settled { seq });
+            return;
+        }
+        let can_degrade = self.cfg.mech == PreemptMech::Uintr;
+        match self.workers[worker].retry.step(RetryInput::Lost { seq, can_degrade }) {
+            RetryOutput::Degrade { losses } => {
+                self.obs.emit(
+                    now,
+                    Event::MechDegraded {
+                        worker: worker as u16,
+                        losses: losses.min(u32::from(u8::MAX)) as u8,
+                    },
+                );
+                self.send_preempt_signal(worker, seq, now, attempt + 1, ctx);
             }
-            return;
-        }
-        let w = &mut self.workers[worker];
-        w.losses += 1;
-        let losses = w.losses;
-        let was_probe = w.probe_for == Some(seq);
-        if was_probe {
-            w.probe_for = None;
-        }
-        if self.cfg.mech == PreemptMech::Uintr
-            && !self.workers[worker].degraded
-            && losses >= self.cfg.watchdog.degrade_after
-        {
-            let w = &mut self.workers[worker];
-            w.degraded = true;
-            w.degraded_sends = 0;
-            self.obs.emit(
-                now,
-                Event::MechDegraded {
-                    worker: worker as u16,
-                    losses: losses.min(u32::from(u8::MAX)) as u8,
-                },
-            );
-            self.send_preempt_signal(worker, seq, now, attempt + 1, ctx);
-            return;
-        }
-        let delay = self.cfg.watchdog.backoff.delay(attempt);
-        self.obs.emit(
-            now,
-            Event::PreemptRetry {
-                worker: worker as u16,
-                attempt: attempt.min(u32::from(u8::MAX)) as u8,
-                delay_ns: delay.as_nanos(),
-            },
-        );
-        let at = now + delay;
-        if self.cfg.mech == PreemptMech::Uintr && !was_probe && !self.workers[worker].degraded {
-            self.send_preempt_uipi(worker, seq, at, attempt + 1, true, ctx);
-        } else {
-            // Degraded workers, failed probes, and the signal-based
-            // mechanisms all retry through the kernel signal path.
-            self.send_preempt_signal(worker, seq, at, attempt + 1, ctx);
+            RetryOutput::Retry { uintr } => {
+                let delay = self.cfg.watchdog.backoff.delay(attempt);
+                self.obs.emit(
+                    now,
+                    Event::PreemptRetry {
+                        worker: worker as u16,
+                        seq,
+                        attempt: attempt.min(u32::from(u8::MAX)) as u8,
+                        delay_ns: delay.as_nanos(),
+                    },
+                );
+                let at = now + delay;
+                if uintr {
+                    self.send_preempt_uipi(worker, seq, at, attempt + 1, true, ctx);
+                } else {
+                    // Degraded workers, failed probes, and the
+                    // signal-based mechanisms all retry through the
+                    // kernel signal path.
+                    self.send_preempt_signal(worker, seq, at, attempt + 1, ctx);
+                }
+            }
+            other => unreachable!("Lost verdict is Degrade or Retry, got {other:?}"),
         }
     }
 
@@ -1073,15 +1065,16 @@ impl LibPreemptibleSystem {
         let recv_cost = self.preempt_receive_cost();
         let w_seq = self.workers[worker].seq;
         let current = w_seq == seq && matches!(self.workers[worker].state, WState::Running { .. });
-        if current && uintr && self.workers[worker].probe_for == Some(seq) {
-            // The recovery probe came back over the user-interrupt
-            // path: the fabric healed.
-            let w = &mut self.workers[worker];
-            w.probe_for = None;
-            w.losses = 0;
-            if w.degraded {
-                w.degraded = false;
-                w.degraded_sends = 0;
+        if current {
+            self.obs.emit(
+                now,
+                Event::PreemptLanded { worker: worker as u16, seq, uintr },
+            );
+            // The machine settles the loss streak; a recovery probe
+            // coming back over the user-interrupt path means the
+            // fabric healed.
+            let verdict = self.workers[worker].retry.step(RetryInput::Landed { seq, uintr });
+            if verdict == RetryOutput::Recovered {
                 self.obs.emit(now, Event::MechRecovered { worker: worker as u16 });
             }
         }
@@ -1109,15 +1102,10 @@ impl LibPreemptibleSystem {
                 // The send landed: retire its watchdog deadline before
                 // the next send overwrites it (the sweep would only see
                 // the overwrite), keeping the loss streak strictly
-                // consecutive. A probe that landed here over the signal
-                // path yields no verdict on the fast path — drop it
-                // (the UINTR case already recovered above).
-                w.losses = 0;
+                // consecutive. The retry machine already settled the
+                // streak (and any probe) in the `Landed` step above.
                 if w.wd.is_some_and(|a| a.seq == seq) {
                     w.wd = None;
-                }
-                if w.probe_for == Some(seq) {
-                    w.probe_for = None;
                 }
                 {
                     let c = self.pool.get_mut(id);
@@ -1240,12 +1228,9 @@ impl LibPreemptibleSystem {
         // the watchdog cannot tell a lost preemption from one that
         // raced completion, so the loss streak resets (retire the
         // deadline here for the same overwrite reason as on arrival).
-        w.losses = 0;
+        w.retry.step(RetryInput::Settled { seq });
         if w.wd.is_some_and(|a| a.seq == seq) {
             w.wd = None;
-        }
-        if w.probe_for == Some(seq) {
-            w.probe_for = None;
         }
         ctx.immediately(Ev::Pick { worker });
     }
@@ -1356,6 +1341,15 @@ impl Model for LibPreemptibleSystem {
                     && matches!(self.workers[worker].state, WState::Running { .. })
                 {
                     let now = ctx.now();
+                    self.obs.emit(
+                        now,
+                        Event::PreemptIssued {
+                            worker: worker as u16,
+                            seq,
+                            attempt: 0,
+                            uintr: false,
+                        },
+                    );
                     let fault = self.injector.as_mut().and_then(|i| i.signal());
                     if let Some(f) = fault {
                         self.obs.emit(

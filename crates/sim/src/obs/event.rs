@@ -192,11 +192,43 @@ pub enum Event {
         /// `FaultKind` wire code (see `lp_sim::fault::FaultKind`).
         kind: u8,
     },
+    /// The runtime issued one preemption send toward a worker. The
+    /// `(worker, seq)` pair is the preemption's stable causality
+    /// identity: the matching [`Event::PreemptLanded`] carries the same
+    /// pair, giving `lp-check race` its send→deliver happens-before
+    /// edge.
+    PreemptIssued {
+        /// Worker the send targets.
+        worker: u16,
+        /// Run sequence the send is armed for (stale deliveries carry
+        /// an older seq and are ignored by the victim).
+        seq: u64,
+        /// Send attempt (0 = first send, 1+ = watchdog re-sends).
+        attempt: u8,
+        /// True for the UINTR path, false for the kernel signal path.
+        uintr: bool,
+    },
+    /// A preemption landed on its victim while the victim was still on
+    /// the matching run: the receiving half of the
+    /// [`Event::PreemptIssued`] causality edge. Stale or spurious
+    /// arrivals do not emit this (they emit
+    /// [`Event::SpuriousPreempt`]).
+    PreemptLanded {
+        /// Worker the preemption landed on.
+        worker: u16,
+        /// Run sequence the arrival matched.
+        seq: u64,
+        /// True when delivery came over the user-interrupt path.
+        uintr: bool,
+    },
     /// The lost-preemption watchdog re-sent an armed preemption whose
     /// deadline passed without delivery.
     PreemptRetry {
         /// Worker whose preemption went missing.
         worker: u16,
+        /// Run sequence of the lost send (joins the retry to its
+        /// re-send in the happens-before graph).
+        seq: u64,
         /// Retry attempt number (1 = first re-send).
         attempt: u8,
         /// Backoff delay applied before the next watchdog check.
@@ -245,6 +277,8 @@ impl Event {
             Event::QuantumAdjusted { .. } => "quantum_adjusted",
             Event::Marker { .. } => "marker",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::PreemptIssued { .. } => "preempt_issued",
+            Event::PreemptLanded { .. } => "preempt_landed",
             Event::PreemptRetry { .. } => "preempt_retry",
             Event::MechDegraded { .. } => "mech_degraded",
             Event::MechRecovered { .. } => "mech_recovered",
@@ -320,10 +354,21 @@ impl fmt::Display for Event {
             Event::FaultInjected { worker, kind } => {
                 write!(f, "fault kind {kind} injected at worker {worker}")
             }
-            Event::PreemptRetry { worker, attempt, delay_ns } => {
+            Event::PreemptIssued { worker, seq, attempt, uintr } => {
+                let path = if uintr { "uintr" } else { "signal" };
                 write!(
                     f,
-                    "preempt re-sent to worker {worker} (attempt {attempt}, backoff {delay_ns}ns)"
+                    "preempt seq {seq} issued to worker {worker} over {path} (attempt {attempt})"
+                )
+            }
+            Event::PreemptLanded { worker, seq, uintr } => {
+                let path = if uintr { "uintr" } else { "signal" };
+                write!(f, "preempt seq {seq} landed on worker {worker} over {path}")
+            }
+            Event::PreemptRetry { worker, seq, attempt, delay_ns } => {
+                write!(
+                    f,
+                    "preempt seq {seq} re-sent to worker {worker} (attempt {attempt}, backoff {delay_ns}ns)"
                 )
             }
             Event::MechDegraded { worker, losses } => {
@@ -419,10 +464,19 @@ impl TimedEvent {
             Event::FaultInjected { worker, kind } => {
                 let _ = write!(out, ",\"worker\":{worker},\"kind\":{kind}");
             }
-            Event::PreemptRetry { worker, attempt, delay_ns } => {
+            Event::PreemptIssued { worker, seq, attempt, uintr } => {
                 let _ = write!(
                     out,
-                    ",\"worker\":{worker},\"attempt\":{attempt},\"delay_ns\":{delay_ns}"
+                    ",\"worker\":{worker},\"seq\":{seq},\"attempt\":{attempt},\"uintr\":{uintr}"
+                );
+            }
+            Event::PreemptLanded { worker, seq, uintr } => {
+                let _ = write!(out, ",\"worker\":{worker},\"seq\":{seq},\"uintr\":{uintr}");
+            }
+            Event::PreemptRetry { worker, seq, attempt, delay_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"worker\":{worker},\"seq\":{seq},\"attempt\":{attempt},\"delay_ns\":{delay_ns}"
                 );
             }
             Event::MechDegraded { worker, losses } => {
@@ -526,8 +580,20 @@ impl TimedEvent {
                 worker: field_u64(line, "worker")? as u16,
                 kind: field_u64(line, "kind")? as u8,
             },
+            "preempt_issued" => Event::PreemptIssued {
+                worker: field_u64(line, "worker")? as u16,
+                seq: field_u64(line, "seq")?,
+                attempt: field_u64(line, "attempt")? as u8,
+                uintr: field_bool(line, "uintr")?,
+            },
+            "preempt_landed" => Event::PreemptLanded {
+                worker: field_u64(line, "worker")? as u16,
+                seq: field_u64(line, "seq")?,
+                uintr: field_bool(line, "uintr")?,
+            },
             "preempt_retry" => Event::PreemptRetry {
                 worker: field_u64(line, "worker")? as u16,
+                seq: field_u64(line, "seq")?,
                 attempt: field_u64(line, "attempt")? as u8,
                 delay_ns: field_u64(line, "delay_ns")?,
             },
@@ -609,7 +675,9 @@ mod tests {
             Event::QuantumAdjusted { old_ns: 30_000, new_ns: 25_000 },
             Event::Marker { code: 42 },
             Event::FaultInjected { worker: 1, kind: 0 },
-            Event::PreemptRetry { worker: 1, attempt: 2, delay_ns: 40_000 },
+            Event::PreemptIssued { worker: 1, seq: 9, attempt: 0, uintr: true },
+            Event::PreemptLanded { worker: 1, seq: 9, uintr: true },
+            Event::PreemptRetry { worker: 1, seq: 9, attempt: 2, delay_ns: 40_000 },
             Event::MechDegraded { worker: 1, losses: 3 },
             Event::MechRecovered { worker: 1 },
         ];

@@ -48,11 +48,13 @@ pub enum Counter {
     MechRecoveries,
     PolicyDispatches,
     SlicesGranted,
+    PreemptsIssued,
+    PreemptsLanded,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 36] = [
         Counter::UipiSent,
         Counter::UipiDelivered,
         Counter::UipiCoalesced,
@@ -87,6 +89,10 @@ impl Counter {
         Counter::MechRecoveries,
         Counter::PolicyDispatches,
         Counter::SlicesGranted,
+        // New counters append here: the snapshot JSONL key order is
+        // pinned by tests (and downstream diffs) to the order above.
+        Counter::PreemptsIssued,
+        Counter::PreemptsLanded,
     ];
 
     /// Stable snake_case name (the JSONL/snapshot key).
@@ -126,6 +132,8 @@ impl Counter {
             Counter::MechRecoveries => "mech_recoveries",
             Counter::PolicyDispatches => "policy_dispatches",
             Counter::SlicesGranted => "slices_granted",
+            Counter::PreemptsIssued => "preempts_issued",
+            Counter::PreemptsLanded => "preempts_landed",
         }
     }
 }
@@ -249,6 +257,8 @@ impl Metrics {
             }
             Event::Marker { .. } => self.bump(Counter::Markers),
             Event::FaultInjected { .. } => self.bump(Counter::FaultsInjected),
+            Event::PreemptIssued { .. } => self.bump(Counter::PreemptsIssued),
+            Event::PreemptLanded { .. } => self.bump(Counter::PreemptsLanded),
             Event::PreemptRetry { .. } => self.bump(Counter::PreemptRetries),
             Event::MechDegraded { .. } => self.bump(Counter::MechDegradations),
             Event::MechRecovered { .. } => self.bump(Counter::MechRecoveries),

@@ -117,6 +117,19 @@ fn counters_match_run_report_totals() {
             r.spurious_preemptions,
             "{mech:?}"
         );
+        // Fault-free causality: every issued preemption produces
+        // exactly one arrival, which either lands on its run or is
+        // spurious. Landings park or retire a task, never less than
+        // the park count.
+        assert_eq!(
+            m.counter("preempts_issued"),
+            m.counter("preempts_landed") + r.spurious_preemptions,
+            "{mech:?}"
+        );
+        assert!(
+            m.counter("preempts_landed") >= r.preemptions,
+            "{mech:?}"
+        );
         // task_starts = first launches + resumptions after preemption.
         assert_eq!(
             m.counter("task_starts"),
