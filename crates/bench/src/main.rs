@@ -36,6 +36,11 @@ use lp_workload::{PhasedService, RateSchedule, ServiceDist};
 const EVENTS: u64 = 10_000;
 /// Timed iterations (after warmup).
 const ITERS: u32 = 20;
+/// Timed iterations for the two sub-millisecond engine metrics. Their
+/// minimum-of-iterations estimate needs one iteration to land in a
+/// quiet scheduling window; at ~0.5 ms each, extra samples are free,
+/// so take enough that the estimate converges even on a busy host.
+const ENGINE_ITERS: u32 = 60;
 /// Warmup iterations, excluded from the measurement.
 const WARMUP: u32 = 3;
 
@@ -46,10 +51,15 @@ fn scatter(i: u64) -> u64 {
 }
 
 /// Push/pop throughput of the event queue, in events per second
-/// (counting each pushed-then-popped event once).
+/// (counting each pushed-then-popped event once). Like
+/// `fault_overhead`, the estimate is the *fastest* measured iteration:
+/// every iteration does identical deterministic work, so the minimum
+/// is the noise-robust estimate of the code's true cost (a mean
+/// absorbs every scheduler hiccup of the host, which on a shared CI
+/// runner swings far more than the 10% the perf gate polices).
 fn push_pop_events_per_sec() -> f64 {
-    let mut total = 0.0f64;
-    for it in 0..WARMUP + ITERS {
+    let mut best = f64::INFINITY;
+    for it in 0..WARMUP + ENGINE_ITERS {
         let mut q = EventQueue::with_capacity(EVENTS as usize);
         let start = Instant::now();
         for i in 0..EVENTS {
@@ -59,19 +69,21 @@ fn push_pop_events_per_sec() -> f64 {
         while q.pop().is_some() {
             n += 1;
         }
+        let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(n, EVENTS);
         if it >= WARMUP {
-            total += start.elapsed().as_secs_f64();
+            best = best.min(elapsed);
         }
     }
-    (EVENTS * ITERS as u64) as f64 / total
+    EVENTS as f64 / best
 }
 
 /// The LibUtimer arming pattern: push a deadline, cancel it, re-arm.
-/// Reported as re-arm cycles per second.
+/// Reported as re-arm cycles per second, estimated as the fastest
+/// measured iteration (see `push_pop_events_per_sec` on why).
 fn arm_cancel_rearm_per_sec() -> f64 {
-    let mut total = 0.0f64;
-    for it in 0..WARMUP + ITERS {
+    let mut best = f64::INFINITY;
+    for it in 0..WARMUP + ENGINE_ITERS {
         let mut q = EventQueue::with_capacity(64);
         for i in 0..32u64 {
             q.push(SimTime::from_nanos(1_000_000_000 + i), i);
@@ -85,11 +97,12 @@ fn arm_cancel_rearm_per_sec() -> f64 {
             armed = q.push(SimTime::from_nanos(now + 100), u64::MAX);
         }
         while q.pop().is_some() {}
+        let elapsed = start.elapsed().as_secs_f64();
         if it >= WARMUP {
-            total += start.elapsed().as_secs_f64();
+            best = best.min(elapsed);
         }
     }
-    (EVENTS * ITERS as u64) as f64 / total
+    EVENTS as f64 / best
 }
 
 /// One iteration of the fault-overhead workload: preemption-heavy
@@ -106,7 +119,10 @@ fn fault_probe_run(faults: FaultPlan) -> RunReport {
         WorkloadSpec {
             source: ServiceSource::Phased(PhasedService::constant(ServiceDist::workload_b())),
             arrivals: RateSchedule::Constant(300_000.0),
-            duration: SimDur::millis(50),
+            // Long enough that the <2% overhead gate sits above the
+            // host's scheduling-noise floor now that the timing-wheel
+            // engine drains this run several times faster.
+            duration: SimDur::millis(200),
             warmup: SimDur::millis(5),
         },
     )

@@ -17,10 +17,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{
-    nondet_file_allowance, relaxed_file_allowance, RuleId, EVENT_VOCAB_FILE, FAULT_RNG_FILE,
-    FAULT_RNG_TOKENS, NONDET_EXEMPT_CRATES, NONDET_TOKENS, OBS_PAIRED_CRATES, POLICY_DIR,
-    POLICY_PURITY_TOKENS, RETRY_STATE_CRATE, RETRY_STATE_FIELDS, RETRY_STATE_FILE,
-    UNSAFE_ALLOWED_CRATE, WORKERLESS_EVENTS,
+    hot_alloc_allowance, nondet_file_allowance, relaxed_file_allowance, RuleId, EVENT_VOCAB_FILE,
+    FAULT_RNG_FILE, FAULT_RNG_TOKENS, HOT_ALLOC_FILES, HOT_ALLOC_TOKENS, NONDET_EXEMPT_CRATES,
+    NONDET_TOKENS, OBS_PAIRED_CRATES, POLICY_DIR, POLICY_PURITY_TOKENS, RETRY_STATE_CRATE,
+    RETRY_STATE_FIELDS, RETRY_STATE_FILE, UNSAFE_ALLOWED_CRATE, WORKERLESS_EVENTS,
 };
 
 /// One finding, pinned to a file and line.
@@ -581,6 +581,36 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
             }
         }
 
+        if HOT_ALLOC_FILES.contains(&rel) {
+            for token in HOT_ALLOC_TOKENS {
+                if contains_token(code, token) {
+                    // The static allowance (rules.rs) keeps the two
+                    // deliberate growth points visible as suppressed
+                    // diagnostics without failing the build.
+                    if let Some(why) = hot_alloc_allowance(rel, token) {
+                        push(
+                            RuleId::HotAlloc,
+                            line,
+                            format!("hot-path growth token `{token}` (static allowlist: {why})"),
+                            true,
+                        );
+                        continue;
+                    }
+                    push(
+                        RuleId::HotAlloc,
+                        line,
+                        format!(
+                            "hot-path growth token `{token}` in the event engine core — \
+                             the pop/arm/cascade paths must only move pre-allocated \
+                             nodes (or extend rules::HOT_ALLOC_ALLOWLIST with a \
+                             written amortization argument)"
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+
         if rel == FAULT_RNG_FILE {
             for token in FAULT_RNG_TOKENS {
                 if contains_token(code, token) {
@@ -1002,6 +1032,62 @@ mod tests {
             &mut r,
         );
         assert_eq!(r.violation_count(), 1);
+    }
+
+    #[test]
+    fn hot_alloc_rule_is_scoped_to_the_wheel_core() {
+        let vocab = BTreeSet::new();
+        // The allowlisted (file, token) pair: reported, but suppressed.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/wheel.rs",
+            "self.heap.push(entry);\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 0, "{}", r.human());
+        assert_eq!(r.suppressed_count(), 1);
+        assert!(r.diagnostics[0].message.contains("static allowlist"));
+        // An unlisted growth token in a hot file fails the build.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/wheel.rs",
+            "let b = Box::new(node);\nlet m = HashMap::default();\n",
+            &vocab,
+            &mut r,
+        );
+        assert!(
+            r.diagnostics
+                .iter()
+                .filter(|d| d.rule == RuleId::HotAlloc && !d.suppressed)
+                .count()
+                == 2,
+            "{}",
+            r.human()
+        );
+        // The same tokens outside the hot files are not this rule's
+        // business (nondet still owns HashMap there).
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/engine.rs",
+            "let b = Box::new(node); v.push(b);\n",
+            &vocab,
+            &mut r,
+        );
+        assert!(
+            r.diagnostics.iter().all(|d| d.rule != RuleId::HotAlloc),
+            "{}",
+            r.human()
+        );
+        // Moving nodes between intrusive lists is clean.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/wheel.rs",
+            "self.nodes[prev as usize].next = next;\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 0, "{}", r.human());
     }
 
     #[test]

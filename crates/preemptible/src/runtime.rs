@@ -225,15 +225,24 @@ struct WdArm {
     attempt: u32,
 }
 
+/// Per-worker record, 64-byte aligned so adjacent workers in the
+/// `Vec<Worker>` never share a cache line (mirroring the per-worker
+/// deadline-cacheline layout of §IV-A). Fields are ordered hot-first:
+/// every dispatched event touches `state`/`seq`/`local`, while the
+/// fault-injection machinery at the bottom is only read when faults
+/// are enabled.
+#[repr(align(64))]
 struct Worker {
+    // --- hot: touched by every Finish/Preempt/dispatch event ---
     state: WState,
+    /// Monotonic run sequence; stale Finish/Preempt events are detected
+    /// by comparing against this.
+    seq: u64,
     local: VecDeque<ContextId>,
     slot: SlotId,
     uitt_index: usize,
     clock: CoreClock,
-    /// Monotonic run sequence; stale Finish/Preempt events are detected
-    /// by comparing against this.
-    seq: u64,
+    // --- cold: kernel-timer fallback, fault-injection, and health ---
     ktimer: KernelTimer,
     /// Fault-injected stall window; preemption arrivals are deferred
     /// past it. Always closed when injection is disabled.
@@ -1431,10 +1440,13 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn SchedPolicy>, spec: WorkloadSpec)
         0
     };
 
-    // Pre-size the event queue from the arrival-rate hint: the live
-    // event population is bounded by in-flight requests (~100 us of
-    // peak arrivals, capped by the context pool) plus a deadline and a
-    // finish event per worker and the arrival/control ticks.
+    // Pre-size the event queue's node slab from the arrival-rate hint:
+    // the live event population is bounded by in-flight requests
+    // (~100 us of peak arrivals, capped by the context pool) plus a
+    // deadline and a finish event per worker and the arrival/control
+    // ticks. With the slab warm the wheel's arm/cancel/re-arm cycle
+    // recycles nodes from the freelist and never allocates mid-run
+    // (pinned by `million_rearm_cycles_do_not_grow_the_slab`).
     let queue_hint = 64
         + cfg.workers * 4
         + ((offered * 1e-4) as usize).min(cfg.pool_capacity);

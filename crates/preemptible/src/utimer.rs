@@ -12,16 +12,25 @@
 //! * `utimer_arm_deadline` → [`UtimerRegistry::arm`] (a plain memory
 //!   write — no syscall, the whole point of the design)
 //!
+//! The registry mirrors the paper's layout: per slot, one
+//! 64-byte-aligned **hot line** holding exactly what the timer core's
+//! scan loop reads (the deadline plus its arm generation), with cold
+//! metadata (labels) in a separate table so the scan never drags it
+//! through the cache. With one slot per worker the linear pass *is*
+//! the fast path, exactly like the paper's per-worker deadline
+//! cachelines.
+//!
 //! For "applications with large thread counts and request for higher
 //! number of timers" the paper opts into a **timing wheel** (its ref.
-//! \[64\]); [`TimingWheel`] implements a hierarchical one for such
-//! deployments, with a property test pinning its behaviour to the
-//! naive scan. The runtime's registry keeps the scan — with one slot
-//! per worker the linear pass *is* the fast path, exactly like the
-//! paper's per-worker deadline cachelines.
+//! \[64\]); [`TimingWheel`] is that interface, and since the engine's
+//! timing-wheel rebuild it is a thin adapter over the *shared*
+//! hierarchical wheel core in `lp_sim` (one wheel implementation, two
+//! call sites: the simulator's `EventQueue` and this type). The
+//! property test pinning its behaviour to the naive scan is retained
+//! unchanged.
 
 use lp_sim::obs::{Event, Observer};
-use lp_sim::SimTime;
+use lp_sim::{EventQueue, SimTime};
 
 /// Identifies a registered deadline slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,6 +41,26 @@ impl SlotId {
     pub fn index(self) -> usize {
         self.0
     }
+}
+
+/// One slot's hot state, padded and aligned to its own 64-byte cache
+/// line — the simulated analogue of the paper's dedicated deadline
+/// cacheline per worker. The timer core's scan touches nothing else,
+/// and two workers' lines never false-share.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(align(64))]
+struct DeadlineLine {
+    /// The armed deadline, if any (absolute simulated TSC).
+    deadline: Option<SimTime>,
+    /// Bumped on every [`UtimerRegistry::arm`]: distinguishes re-arms
+    /// of the same slot in traces.
+    arm_gen: u32,
+}
+
+/// Cold per-slot metadata, deliberately *off* the scan path.
+#[derive(Debug, Clone, Default)]
+struct SlotMeta {
+    label: Option<String>,
 }
 
 /// The deadline-slot registry the timer core scans.
@@ -53,7 +82,11 @@ impl SlotId {
 /// ```
 #[derive(Debug, Default)]
 pub struct UtimerRegistry {
-    deadlines: Vec<Option<SimTime>>,
+    /// Hot: one aligned line per slot; the only thing `expired`'s scan
+    /// loop reads.
+    lines: Vec<DeadlineLine>,
+    /// Cold: same indexing as `lines`.
+    meta: Vec<SlotMeta>,
     armed: usize,
 }
 
@@ -67,8 +100,29 @@ impl UtimerRegistry {
     /// dedicated cacheline and wires the kernel-side handler fd, which
     /// the runtime charges separately.
     pub fn register(&mut self) -> SlotId {
-        self.deadlines.push(None);
-        SlotId(self.deadlines.len() - 1)
+        self.lines.push(DeadlineLine::default());
+        self.meta.push(SlotMeta::default());
+        SlotId(self.lines.len() - 1)
+    }
+
+    /// [`register`](Self::register) with a diagnostic label, kept in
+    /// the cold table so the scan path never loads it.
+    pub fn register_labeled(&mut self, label: &str) -> SlotId {
+        let slot = self.register();
+        self.meta[slot.0].label = Some(label.to_string());
+        slot
+    }
+
+    /// The diagnostic label of `slot`, if one was given at
+    /// registration.
+    pub fn label(&self, slot: SlotId) -> Option<&str> {
+        self.meta.get(slot.0).and_then(|m| m.label.as_deref())
+    }
+
+    /// How many times `slot` has been armed — re-arms of one slot are
+    /// distinguishable in traces.
+    pub fn arm_generation(&self, slot: SlotId) -> u32 {
+        self.lines.get(slot.0).map_or(0, |l| l.arm_gen)
     }
 
     /// Arms `slot` to fire at `deadline` (`utimer_arm_deadline`): just a
@@ -78,20 +132,21 @@ impl UtimerRegistry {
     ///
     /// Panics if the slot was never registered.
     pub fn arm(&mut self, slot: SlotId, deadline: SimTime) {
-        let d = self
-            .deadlines
+        let line = self
+            .lines
             .get_mut(slot.0)
             .expect("arming unregistered slot");
-        if d.is_none() {
+        if line.deadline.is_none() {
             self.armed += 1;
         }
-        *d = Some(deadline);
+        line.deadline = Some(deadline);
+        line.arm_gen = line.arm_gen.wrapping_add(1);
     }
 
     /// Disarms `slot` (worker finished or yielded before expiry).
     pub fn disarm(&mut self, slot: SlotId) {
-        if let Some(d) = self.deadlines.get_mut(slot.0) {
-            if d.take().is_some() {
+        if let Some(line) = self.lines.get_mut(slot.0) {
+            if line.deadline.take().is_some() {
                 self.armed -= 1;
             }
         }
@@ -125,17 +180,17 @@ impl UtimerRegistry {
 
     /// The armed deadline of `slot`, if any.
     pub fn deadline(&self, slot: SlotId) -> Option<SimTime> {
-        self.deadlines.get(slot.0).copied().flatten()
+        self.lines.get(slot.0).and_then(|l| l.deadline)
     }
 
     /// Scans all slots (the timer core's `RDTSC` loop body) and returns
     /// the slots whose deadlines are `<= now`, disarming them.
     pub fn expired(&mut self, now: SimTime) -> Vec<SlotId> {
         let mut fired = Vec::new();
-        for (i, d) in self.deadlines.iter_mut().enumerate() {
-            if let Some(dl) = *d {
+        for (i, line) in self.lines.iter_mut().enumerate() {
+            if let Some(dl) = line.deadline {
                 if dl <= now {
-                    *d = None;
+                    line.deadline = None;
                     self.armed -= 1;
                     fired.push(SlotId(i));
                 }
@@ -157,12 +212,12 @@ impl UtimerRegistry {
     /// a real `UMWAIT`-based one — sleep to the next interesting
     /// instant instead of spinning).
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.deadlines.iter().copied().flatten().min()
+        self.lines.iter().filter_map(|l| l.deadline).min()
     }
 
     /// Number of registered slots.
     pub fn slots(&self) -> usize {
-        self.deadlines.len()
+        self.lines.len()
     }
 
     /// Number of armed slots.
@@ -171,25 +226,30 @@ impl UtimerRegistry {
     }
 }
 
-/// A hierarchical timing wheel over absolute deadlines.
+/// A hierarchical timing wheel over absolute deadlines — the
+/// high-timer-count option of §IV-A.
 ///
-/// Two levels of `WHEEL_SLOTS` buckets; level 0 covers
-/// `WHEEL_SLOTS * tick` of future time at `tick` resolution, level 1
-/// covers `WHEEL_SLOTS² * tick` more coarsely (entries cascade down when
-/// their level-1 bucket turns current). Deadlines beyond both levels sit
-/// in an overflow list that re-files on every cascade.
+/// Since the engine rebuild this is a thin adapter over the shared
+/// wheel core (`lp_sim::EventQueue`): four cascading levels of 1024
+/// slots at 1 ns resolution with O(1) insert, far-future entries
+/// overflowing to a packed-key heap. One wheel implementation serves both the
+/// simulator's event loop and this deadline store; the duplicated
+/// two-level cascade that used to live here is gone.
+///
+/// [`advance`](Self::advance) fires exactly the entries with
+/// `deadline <= now`, identical to the old implementation (whose tick
+/// granularity only shaped its internal buckets, never its fire
+/// condition) — pinned by the `timing_wheel_matches_naive_scan`
+/// property test.
 #[derive(Debug)]
 pub struct TimingWheel<T> {
+    /// The requested tick resolution. The shared core always files at
+    /// exact 1 ns resolution, so this no longer steers bucket geometry;
+    /// it is kept (and validated) for interface compatibility with the
+    /// paper's `utimer`-wheel constructor.
     tick_ns: u64,
-    /// Current time, in ticks.
-    now_tick: u64,
-    level0: Vec<Vec<(SimTime, T)>>,
-    level1: Vec<Vec<(SimTime, T)>>,
-    overflow: Vec<(SimTime, T)>,
-    len: usize,
+    q: EventQueue<T>,
 }
-
-const WHEEL_SLOTS: usize = 256;
 
 impl<T> TimingWheel<T> {
     /// Creates a wheel with the given tick resolution in nanoseconds.
@@ -201,40 +261,23 @@ impl<T> TimingWheel<T> {
         assert!(tick_ns > 0, "tick must be positive");
         TimingWheel {
             tick_ns,
-            now_tick: 0,
-            level0: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
-            level1: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
-            overflow: Vec::new(),
-            len: 0,
+            q: EventQueue::new(),
         }
+    }
+
+    /// The tick resolution this wheel was constructed with.
+    pub fn tick_ns(&self) -> u64 {
+        self.tick_ns
     }
 
     /// Entries currently filed.
     pub fn len(&self) -> usize {
-        self.len
+        self.q.live_len()
     }
 
     /// `true` when no entries are filed.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    fn tick_of(&self, t: SimTime) -> u64 {
-        t.as_nanos() / self.tick_ns
-    }
-
-    fn file(&mut self, deadline: SimTime, value: T) {
-        let tick = self.tick_of(deadline).max(self.now_tick);
-        let delta = tick - self.now_tick;
-        if delta < WHEEL_SLOTS as u64 {
-            let slot = (tick as usize) % WHEEL_SLOTS;
-            self.level0[slot].push((deadline, value));
-        } else if delta < (WHEEL_SLOTS * WHEEL_SLOTS) as u64 {
-            let slot = ((tick / WHEEL_SLOTS as u64) as usize) % WHEEL_SLOTS;
-            self.level1[slot].push((deadline, value));
-        } else {
-            self.overflow.push((deadline, value));
-        }
+        self.q.is_empty()
     }
 
     /// Inserts an entry firing at `deadline`.
@@ -242,53 +285,19 @@ impl<T> TimingWheel<T> {
     /// Deadlines at or before the current time fire on the next
     /// [`advance`](Self::advance).
     pub fn insert(&mut self, deadline: SimTime, value: T) {
-        self.len += 1;
-        self.file(deadline, value);
+        self.q.push(deadline, value);
     }
 
     /// Advances the wheel to `now`, returning every entry whose deadline
-    /// is `<= now` (unordered — the caller treats same-poll expiries as
-    /// simultaneous, exactly like the registry scan).
+    /// is `<= now` (in deadline order, insertion order among ties — a
+    /// refinement of the old unordered contract, which callers treated
+    /// as simultaneous anyway).
     pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, T)> {
-        let target_tick = self.tick_of(now);
         let mut fired = Vec::new();
-        while self.now_tick <= target_tick {
-            let slot = (self.now_tick as usize) % WHEEL_SLOTS;
-            // Cascade level 1 down when entering a new level-1 bucket.
-            if self.now_tick.is_multiple_of(WHEEL_SLOTS as u64) {
-                let l1slot = ((self.now_tick / WHEEL_SLOTS as u64) as usize) % WHEEL_SLOTS;
-                let entries = std::mem::take(&mut self.level1[l1slot]);
-                for (d, v) in entries {
-                    self.len -= 1;
-                    self.insert(d, v);
-                }
-                if self.now_tick.is_multiple_of((WHEEL_SLOTS * WHEEL_SLOTS) as u64) {
-                    let overflow = std::mem::take(&mut self.overflow);
-                    for (d, v) in overflow {
-                        self.len -= 1;
-                        self.insert(d, v);
-                    }
-                }
-            }
-            // Drain the current level-0 bucket; entries filed for a
-            // future lap of the wheel stay.
-            let bucket = std::mem::take(&mut self.level0[slot]);
-            for (d, v) in bucket {
-                if self.tick_of(d) <= self.now_tick && d <= now {
-                    self.len -= 1;
-                    fired.push((d, v));
-                } else {
-                    self.level0[slot].push((d, v));
-                }
-            }
-            if self.now_tick == target_tick {
-                break;
-            }
-            self.now_tick += 1;
+        while self.q.peek_time().is_some_and(|t| t <= now) {
+            let (d, v) = self.q.pop().expect("peeked entry");
+            fired.push((d, v));
         }
-        // Same-tick stragglers: entries in the current bucket with
-        // deadline <= now can remain if filed after we advanced; sweep
-        // them too.
         fired
     }
 }
@@ -354,6 +363,42 @@ mod tests {
     }
 
     #[test]
+    fn registry_labels_live_in_the_cold_table() {
+        let mut r = UtimerRegistry::new();
+        let plain = r.register();
+        let named = r.register_labeled("worker-3");
+        assert_eq!(r.label(plain), None);
+        assert_eq!(r.label(named), Some("worker-3"));
+        // Labels are inert metadata: arming/firing ignores them.
+        r.arm(named, t(10));
+        assert_eq!(r.expired(t(10)), vec![named]);
+        assert_eq!(r.label(named), Some("worker-3"));
+        assert_eq!(r.label(SlotId(99)), None);
+    }
+
+    #[test]
+    fn registry_arm_generation_counts_rearms() {
+        let mut r = UtimerRegistry::new();
+        let a = r.register();
+        assert_eq!(r.arm_generation(a), 0);
+        r.arm(a, t(100));
+        r.arm(a, t(200)); // re-arm, same slot
+        assert_eq!(r.arm_generation(a), 2);
+        r.disarm(a);
+        assert_eq!(r.arm_generation(a), 2, "disarm is not an arm");
+        r.arm(a, t(300));
+        assert_eq!(r.arm_generation(a), 3);
+    }
+
+    #[test]
+    fn deadline_lines_are_cacheline_sized() {
+        // The paper's contract: one worker's deadline write can never
+        // false-share another's line.
+        assert_eq!(std::mem::align_of::<DeadlineLine>(), 64);
+        assert_eq!(std::mem::size_of::<DeadlineLine>(), 64);
+    }
+
+    #[test]
     fn registry_observed_emits_schema_events() {
         use lp_sim::obs::{Counter, Observer};
         let mut r = UtimerRegistry::new();
@@ -413,7 +458,8 @@ mod tests {
     #[test]
     fn wheel_level1_cascade() {
         let mut w = TimingWheel::new(10);
-        // 256 slots * 10ns = 2560ns level-0 horizon; this goes to L1.
+        // Far enough out to sit above the first wheel level; must
+        // cascade down and fire exactly on time.
         w.insert(t(30_000), "far");
         assert_eq!(w.advance(t(29_000)).len(), 0);
         let fired = w.advance(t(30_000));
@@ -423,7 +469,7 @@ mod tests {
     #[test]
     fn wheel_overflow_horizon() {
         let mut w = TimingWheel::new(10);
-        // Beyond 256*256*10 ns = 655_360 ns.
+        // Beyond the old two-level horizon (256*256*10 ns = 655_360 ns).
         w.insert(t(2_000_000), "vfar");
         assert_eq!(w.advance(t(1_999_999)).len(), 0);
         let fired = w.advance(t(2_000_000));
@@ -433,12 +479,23 @@ mod tests {
     #[test]
     fn wheel_same_lap_collision() {
         let mut w = TimingWheel::new(10);
-        // Same level-0 slot, different laps: 50ns and 50ns + 2560ns.
+        // Same old level-0 slot, different laps: 50ns and 50ns + 2560ns.
         w.insert(t(50), 1);
         w.insert(t(50 + 2_560), 2);
         let fired = w.advance(t(60));
         assert_eq!(fired, vec![(t(50), 1)]);
         let fired = w.advance(t(3_000));
         assert_eq!(fired, vec![(t(50 + 2_560), 2)]);
+    }
+
+    #[test]
+    fn wheel_far_future_overflow_to_heap() {
+        // Past the shared core's 2^40 ns wheel horizon: the entry rides
+        // the overflow heap and still fires exactly.
+        let mut w = TimingWheel::new(1);
+        let far = (1u64 << 40) + 123;
+        w.insert(t(far), "beyond-horizon");
+        assert_eq!(w.advance(t(far - 1)).len(), 0);
+        assert_eq!(w.advance(t(far)), vec![(t(far), "beyond-horizon")]);
     }
 }

@@ -77,6 +77,7 @@ mod queue;
 pub mod rng;
 mod time;
 pub mod trace;
+mod wheel;
 
 pub use engine::{Ctx, Model, Simulation};
 pub use queue::{EventId, EventQueue};

@@ -1,35 +1,40 @@
 //! The pending-event queue.
 //!
-//! A binary heap whose ordering key is a single packed `u128`:
-//! `(time << 64) | seq`, where `seq` is a monotonically increasing
-//! sequence number. One integer compare per sift step keeps the pop
-//! path tight, and the sequence number makes event ordering *total* and
-//! therefore the whole simulation deterministic: two events scheduled
-//! for the same instant fire in scheduling order.
+//! Since the timing-wheel rebuild this type is a thin facade over the
+//! shared hierarchical wheel core in [`crate::wheel`]: near-future
+//! events live in cascading wheel levels (four levels × 1024 slots at
+//! a 1 ns tick, so ~18 min of horizon) with O(1) arm/cancel/re-arm;
+//! far-future events overflow to a packed-`u128` binary heap and
+//! migrate into the wheel on top-level rollover. The ordering key is
+//! unchanged — `(time << 64) | seq` with a monotonically increasing
+//! sequence number — and [`EventQueue::pop`] always returns the
+//! globally smallest live key, so event order is *total* and the whole
+//! simulation stays deterministic: two events scheduled for the same
+//! instant fire in scheduling order, byte-identical to the old
+//! pure-heap engine.
 //!
-//! Cancellation is O(1) via **generation-tagged slots** instead of a
-//! tombstone set. Every scheduled event borrows a slot in a small
-//! table; its [`EventId`] packs `(slot, generation)`. An entry is live
-//! exactly while its generation matches the slot's current generation,
-//! so [`EventQueue::cancel`] is one bounds-checked compare + increment
-//! — including the cancel-after-fire case that used to leave a
-//! tombstone behind until the heap fully drained. This is the pattern
-//! needed by re-armed deadlines (LibUtimer re-arms a thread's
-//! preemption deadline every time the scheduler grants a new quantum,
-//! invalidating the previously scheduled expiry): cancel + re-push is
-//! O(log n) with no per-tombstone memory left behind.
+//! Cancellation is O(1) via **generation-tagged slab nodes** instead
+//! of a tombstone set. Every scheduled event borrows a node in the
+//! wheel's slab; its [`EventId`] packs `(slot, generation)`. An entry
+//! is live exactly while its generation matches the node's current
+//! one, so [`EventQueue::cancel`] is one bounds-checked compare (plus
+//! an intrusive-list unlink for wheel-resident events) — including the
+//! cancel-after-fire case. This is the pattern needed by re-armed
+//! deadlines (LibUtimer re-arms a thread's preemption deadline every
+//! time the scheduler grants a new quantum, invalidating the
+//! previously scheduled expiry): cancel + re-push is O(1) with no
+//! per-tombstone memory left behind and no heap sift at all.
 //!
-//! Dead entries are popped from the heap lazily, but the queue
-//! maintains the invariant that the *top* of the heap is always live
-//! (cancel and pop both drain dead tops, each dead entry is popped
-//! exactly once, so the amortized cost is unchanged). That invariant is
-//! what lets [`EventQueue::peek_time`] and [`EventQueue::is_empty`]
-//! take `&self` — there is never cleanup left to do at peek time.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! Cancelled heap-resident entries die lazily by generation bump, but
+//! the queue maintains the invariant that the heap *top* is always
+//! live, and the wheel side caches its exact minimum. That is what
+//! lets [`EventQueue::peek_time`] and [`EventQueue::is_empty`] take
+//! `&self` (non-mutating) — there is never cleanup left to do at peek
+//! time. Geometry, cost model, and the determinism argument are laid
+//! out in `docs/PERFORMANCE.md` and on the [`crate::wheel`] module.
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// Identifies a scheduled event so it can be cancelled.
 ///
@@ -59,40 +64,6 @@ impl EventId {
     }
 }
 
-struct Entry<E> {
-    /// `(time << 64) | seq` — orders by time, ties broken by insertion
-    /// order, in one integer compare.
-    key: u128,
-    slot: u32,
-    gen: u32,
-    event: E,
-}
-
-impl<E> Entry<E> {
-    fn time(&self) -> SimTime {
-        SimTime::from_nanos((self.key >> 64) as u64)
-    }
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
-        // pops first.
-        other.key.cmp(&self.key)
-    }
-}
-
 /// A deterministic priority queue of timestamped events.
 ///
 /// ```
@@ -105,20 +76,18 @@ impl<E> Ord for Entry<E> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Current generation per slot. An entry is live iff its stored
-    /// generation equals its slot's.
-    slots: Vec<u32>,
-    /// Reusable slot indices.
-    free: Vec<u32>,
-    /// Live (scheduled, not cancelled, not fired) events.
-    live: usize,
-    next_seq: u64,
+    wheel: TimerWheel<E>,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.wheel.fmt(f)
     }
 }
 
@@ -129,132 +98,98 @@ impl<E> EventQueue<E> {
     }
 
     /// Creates an empty queue pre-sized for `capacity` concurrently
-    /// scheduled events (an *arrival-rate hint*: the heap and the slot
-    /// table allocate up front instead of growing through the run's
-    /// ramp-up).
+    /// scheduled events (an *arrival-rate hint*: the node slab and the
+    /// overflow heap allocate up front instead of growing through the
+    /// run's ramp-up, keeping the arm path allocation-free).
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            slots: Vec::with_capacity(capacity),
-            free: Vec::with_capacity(capacity),
-            live: 0,
-            next_seq: 0,
+            wheel: TimerWheel::with_capacity(capacity),
         }
     }
 
     /// Schedules `event` to fire at `time`. Returns an id usable with
     /// [`cancel`](Self::cancel).
     pub fn push(&mut self, time: SimTime, event: E) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(s) => s,
-            None => {
-                let s = self.slots.len() as u32;
-                self.slots.push(0);
-                s
-            }
-        };
-        let gen = self.slots[slot as usize];
-        self.live += 1;
-        self.heap.push(Entry {
-            key: ((time.as_nanos() as u128) << 64) | seq as u128,
-            slot,
-            gen,
-            event,
-        });
+        let (slot, gen) = self.wheel.push(time, event);
         EventId::new(slot, gen)
     }
 
-    /// `true` while the entry owning (`slot`, `gen`) is still scheduled.
-    fn id_live(&self, slot: u32, gen: u32) -> bool {
-        self.slots
-            .get(slot as usize)
-            .is_some_and(|&cur| cur == gen)
-    }
-
-    /// Invalidates a slot (its current entry becomes dead) and recycles
-    /// it for the next push.
-    fn retire(&mut self, slot: u32) {
-        self.slots[slot as usize] = self.slots[slot as usize].wrapping_add(1);
-        self.free.push(slot);
-        self.live -= 1;
-    }
-
-    /// Re-establishes the "heap top is live" invariant after a retire.
-    fn drain_dead_top(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.id_live(top.slot, top.gen) {
-                break;
-            }
-            self.heap.pop();
-        }
-    }
-
-    /// Cancels a previously scheduled event in O(1) (plus amortized
-    /// cleanup of dead heap tops).
+    /// Cancels a previously scheduled event in O(1): a generation
+    /// compare plus an intrusive-list unlink for wheel-resident events
+    /// (heap residents die by generation bump and drain lazily).
     ///
     /// Cancelling an id that already fired (or was already cancelled) is
-    /// a no-op: the slot's generation has moved on, so the stale id
+    /// a no-op: the node's generation has moved on, so the stale id
     /// matches nothing and leaves no state behind.
     pub fn cancel(&mut self, id: EventId) {
-        if !self.id_live(id.slot(), id.gen()) {
-            return;
-        }
-        self.retire(id.slot());
-        self.drain_dead_top();
+        self.wheel.cancel(id.slot(), id.gen());
     }
 
-    /// Removes and returns the earliest live event.
+    /// Removes and returns the earliest live event, wherever it lives
+    /// (wheel bucket or overflow heap) — the globally smallest
+    /// `(time, seq)` key.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // Invariant: the heap top is live (dead entries are drained by
-        // the cancel/pop that killed or uncovered them).
-        let entry = self.heap.pop()?;
-        debug_assert!(self.id_live(entry.slot, entry.gen), "dead entry at heap top");
-        self.retire(entry.slot);
-        self.drain_dead_top();
-        Some((entry.time(), entry.event))
+        self.wheel.pop()
     }
 
     /// The timestamp of the earliest live event without removing it.
     ///
-    /// Non-mutating: the heap top is maintained live by
-    /// [`cancel`](Self::cancel)/[`pop`](Self::pop), so there is no lazy
-    /// cleanup left to do here.
+    /// Non-mutating: the wheel caches its exact minimum and the heap
+    /// top is maintained live by [`cancel`](Self::cancel)/
+    /// [`pop`](Self::pop), so there is no lazy cleanup left to do here.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(Entry::time)
+        self.wheel.peek_time()
     }
 
     /// Number of live (scheduled, not cancelled) events. O(1).
     pub fn live_len(&self) -> usize {
-        self.live
+        self.wheel.live_len()
     }
 
-    /// Number of entries still in the heap, *including* not-yet-drained
-    /// cancelled entries. An upper bound on live events.
+    /// Live events *plus* not-yet-drained cancelled overflow entries.
+    /// An upper bound on tracked entries.
     pub fn len_upper_bound(&self) -> usize {
-        self.heap.len()
+        self.wheel.len_upper_bound()
     }
 
-    /// Size of the slot table: the high-water mark of concurrently
-    /// scheduled events. Exposed so capacity regressions (leaking slots
-    /// or tombstone-style growth) are testable.
+    /// Size of the node slab: the high-water mark of concurrently
+    /// scheduled events. Exposed so capacity regressions (leaking
+    /// nodes or tombstone-style growth) are testable.
     pub fn slot_capacity(&self) -> usize {
-        self.slots.len()
+        self.wheel.slab_len()
     }
 
     /// `true` when no live events remain. O(1), non-mutating.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.wheel.is_empty()
+    }
+
+    /// Test hook: forces a slab node's generation (see
+    /// [`TimerWheel::force_gen`]).
+    #[cfg(test)]
+    fn force_gen(&mut self, slot: u32, gen: u32) {
+        self.wheel.force_gen(slot, gen);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wheel::HORIZON;
 
     fn t(n: u64) -> SimTime {
         SimTime::from_nanos(n)
+    }
+
+    /// Pops everything, returning the payloads in pop order (the tests
+    /// avoid iterator `collect` so this file stays clean under the
+    /// `hot-alloc` lint).
+    fn drain_payloads<E>(q: &mut EventQueue<E>) -> Vec<E> {
+        let mut out = Vec::with_capacity(q.live_len());
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        out
     }
 
     #[test]
@@ -263,8 +198,7 @@ mod tests {
         q.push(t(30), 3);
         q.push(t(10), 1);
         q.push(t(20), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(drain_payloads(&mut q), [1, 2, 3]);
     }
 
     #[test]
@@ -273,8 +207,7 @@ mod tests {
         q.push(t(5), "first");
         q.push(t(5), "second");
         q.push(t(5), "third");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["first", "second", "third"]);
+        assert_eq!(drain_payloads(&mut q), ["first", "second", "third"]);
     }
 
     #[test]
@@ -287,8 +220,7 @@ mod tests {
         q.push(t(5), "first"); // reuses slot 0, later seq
         q.push(t(5), "second");
         q.push(t(3), "zeroth");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["zeroth", "first", "second"]);
+        assert_eq!(drain_payloads(&mut q), ["zeroth", "first", "second"]);
     }
 
     #[test]
@@ -344,21 +276,23 @@ mod tests {
     #[test]
     fn cancel_after_fire_does_not_accumulate_state() {
         // Regression test for unbounded tombstone growth: ids cancelled
-        // *after* firing used to sit in the tombstone set until the heap
-        // fully drained. With generation slots they are O(1) no-ops.
+        // *after* firing used to sit in the tombstone set until the
+        // queue fully drained. With generation-tagged nodes they are
+        // O(1) no-ops.
         let mut q = EventQueue::new();
-        // A far-future event keeps the heap from ever draining.
+        // A far-future event keeps the queue from ever draining (far
+        // enough to sit in the overflow heap the whole time).
         let _far = q.push(t(u64::MAX / 2), 0u64);
         for i in 1..=10_000u64 {
             let id = q.push(t(i), i);
             assert_eq!(q.pop().map(|(_, e)| e), Some(i));
-            q.cancel(id); // cancel after fire, heap still non-empty
+            q.cancel(id); // cancel after fire, queue still non-empty
         }
         assert_eq!(q.live_len(), 1);
         assert_eq!(q.len_upper_bound(), 1, "dead entries accumulated");
         assert!(
             q.slot_capacity() <= 2,
-            "slot table grew without bound: {}",
+            "slab grew without bound: {}",
             q.slot_capacity()
         );
     }
@@ -374,8 +308,7 @@ mod tests {
             deadline = q.push(t(10 + i), i);
         }
         assert_eq!(q.live_len(), 1);
-        // Dead entries above the live one are drained as they surface;
-        // here every cancel hits the heap top, so nothing accumulates.
+        // Cancelled wheel entries unlink eagerly; nothing accumulates.
         assert_eq!(q.len_upper_bound(), 1);
         assert!(q.slot_capacity() <= 2);
         assert_eq!(q.pop().map(|(_, e)| e), Some(10_000));
@@ -401,5 +334,138 @@ mod tests {
         q.pop();
         assert_eq!(q.live_len(), 0);
         assert!(q.is_empty());
+    }
+
+    // -- wheel edge cases --------------------------------------------
+
+    #[test]
+    fn same_tick_on_two_levels_pops_in_seq_order() {
+        // A filed before the cursor moves lands at level 1; C filed for
+        // the *same tick* after a pop advanced the cursor lands at
+        // level 0. The queue must still pop by (time, seq) across the
+        // level split.
+        let mut q = EventQueue::new();
+        q.push(t(64), "A"); // delta 64 from cursor 0 -> level 1
+        q.push(t(63), "B"); // level 0
+        assert_eq!(q.pop(), Some((t(63), "B"))); // cursor now 63
+        q.push(t(64), "C"); // delta 1 -> level 0, same tick as A
+        q.push(t(65), "D");
+        assert_eq!(drain_payloads(&mut q), ["A", "C", "D"]);
+    }
+
+    #[test]
+    fn same_tick_across_levels_survives_min_recompute() {
+        // Same construction, but cancel the cached minimum so the
+        // recompute walk has to compare the stale level-1 bucket
+        // against the fresh level-0 one.
+        let mut q = EventQueue::new();
+        let a = q.push(t(64), "A"); // level 1 (filed at cursor 0)
+        q.push(t(63), "B");
+        assert_eq!(q.pop(), Some((t(63), "B")));
+        q.push(t(64), "C"); // level 0, same tick
+        q.push(t(65), "D"); // level 0
+        q.cancel(a); // kill the minimum -> exact recompute
+        assert_eq!(q.peek_time(), Some(t(64)));
+        assert_eq!(drain_payloads(&mut q), ["C", "D"]);
+    }
+
+    #[test]
+    fn cancel_after_cascade_unlinks_from_new_location() {
+        // B and A share a level-1 bucket until popping C advances the
+        // cursor into their window and cascades them down to level 0.
+        // The pre-cascade id must still cancel B at its *new* location.
+        let mut q = EventQueue::new();
+        let _a = q.push(t(100), "A"); // level 1, slot 1
+        let b = q.push(t(90), "B"); // same level-1 bucket
+        q.push(t(70), "C"); // same level-1 bucket
+        q.push(t(5), "D"); // level 0
+        assert_eq!(q.pop(), Some((t(5), "D")));
+        assert_eq!(q.pop(), Some((t(70), "C"))); // cascades A and B to level 0
+        q.cancel(b);
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(drain_payloads(&mut q), ["A"]);
+    }
+
+    #[test]
+    fn far_future_overflow_boundary_is_exact() {
+        // HORIZON - 1 is the last wheel-resident delta; HORIZON spills
+        // to the overflow heap. Order is unaffected either way.
+        let mut q = EventQueue::new();
+        q.push(t(HORIZON - 1), "wheel-edge");
+        q.push(t(HORIZON), "heap-edge");
+        let c = q.push(t(HORIZON + 1), "heap");
+        q.cancel(c); // heap-resident cancel: lazy generation bump
+        assert_eq!(q.live_len(), 2);
+        assert_eq!(drain_payloads(&mut q), ["wheel-edge", "heap-edge"]);
+    }
+
+    #[test]
+    fn overflow_migration_keeps_ids_valid() {
+        // Popping across a top-level window rollover migrates heap
+        // entries into the wheel. Node indices and generations are
+        // stable across the move, so a pre-migration id still cancels.
+        let mut q = EventQueue::new();
+        let a = q.push(t(HORIZON), "A"); // heap
+        let b = q.push(t(HORIZON + 50), "B"); // heap
+        q.push(t(HORIZON - 10), "C"); // wheel, top level
+        assert_eq!(q.pop(), Some((t(HORIZON - 10), "C")));
+        // Popping A crosses the top-level boundary: B migrates in.
+        assert_eq!(q.pop(), Some((t(HORIZON), "A")));
+        let _ = a;
+        q.cancel(b); // b now wheel-resident; id must still match
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn generation_wraparound_on_a_reused_slot() {
+        // After 2^30 reuses a node's generation wraps and an ancient id
+        // may alias a fresh one — the documented contract. Force the
+        // wrap and check both sides: the stale pre-wrap id is dead, the
+        // post-wrap id (aliasing the very first id ever issued for the
+        // slot) works.
+        let max_gen = crate::wheel::TimerWheel::<u32>::MAX_GEN;
+        let mut q = EventQueue::new();
+        let first = q.push(t(1), 1u32);
+        q.pop();
+        q.force_gen(0, max_gen);
+        let pre_wrap = q.push(t(2), 2u32); // (slot 0, gen MAX_GEN)
+        q.cancel(pre_wrap); // bump wraps MAX -> 0
+        let post_wrap = q.push(t(3), 3u32); // (slot 0, gen 0) again
+        assert_eq!(first, post_wrap, "wraparound aliases the first id");
+        q.cancel(pre_wrap); // stale: no-op
+        assert_eq!(q.live_len(), 1);
+        q.cancel(post_wrap);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn million_rearm_cycles_do_not_grow_the_slab() {
+        // Satellite regression: the lp-bench arm/cancel/re-arm shape at
+        // 1M cycles. After warm-up the freelist must satisfy every
+        // push — the slab high-water mark may not move.
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..32u64 {
+            q.push(t(1_000_000_000 + i), i); // far background deadlines
+        }
+        let mut now = 0u64;
+        let mut armed = q.push(t(now + 100), u64::MAX);
+        for i in 0..1_000u64 {
+            q.cancel(armed);
+            now += 1 + (i % 99);
+            armed = q.push(t(now + 100), u64::MAX);
+        }
+        let warm = q.slot_capacity();
+        for i in 0..1_000_000u64 {
+            q.cancel(armed);
+            now += 1 + (i % 99);
+            armed = q.push(t(now + 100), u64::MAX);
+        }
+        assert_eq!(
+            q.slot_capacity(),
+            warm,
+            "slab grew after warm-up under steady-state re-arm"
+        );
+        assert_eq!(q.live_len(), 33);
     }
 }

@@ -1,9 +1,101 @@
-//! Property tests for the event queue and engine ordering guarantees.
+//! Property tests for the event queue and engine ordering guarantees,
+//! including the wheel-vs-heap oracle that pins the hierarchical
+//! timing wheel to a naive sorted-scan model.
 
 use lp_sim::{EventQueue, SimTime};
 use proptest::prelude::*;
 
+/// One queue operation for the oracle test. `Cancel` carries an index
+/// into the ids issued so far (taken modulo their count).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    Cancel(usize),
+    Pop,
+}
+
+/// Times spanning every wheel regime: level 0, mid levels, the 2^36
+/// overflow horizon on both sides, and far-future heap residents.
+fn time_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        0u64..100_000,
+        0u64..10_000_000_000,
+        ((1u64 << 36) - 100)..((1u64 << 36) + 100),
+        0u64..u64::MAX / 2,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => time_strategy().prop_map(Op::Push),
+        2 => any::<usize>().prop_map(Op::Cancel),
+        2 => Just(Op::Pop),
+    ]
+}
+
 proptest! {
+    /// The wheel-vs-heap oracle: the timing-wheel queue agrees with a
+    /// naive O(n)-scan model on every pop, peek, and live count, for
+    /// arbitrary interleavings of push/cancel/pop across all wheel
+    /// levels and the overflow heap.
+    #[test]
+    fn wheel_matches_naive_oracle(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let mut q = EventQueue::new();
+        // Oracle entries: (time, seq, alive). Pops select the minimum
+        // (time, seq) — exactly the packed-u128 key order.
+        let mut naive: Vec<(u64, u64, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        let mut seq = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push(t) => {
+                    ids.push((q.push(SimTime::from_nanos(t), seq), seq));
+                    naive.push((t, seq, true));
+                    seq += 1;
+                }
+                Op::Cancel(k) => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let (id, s) = ids[k % ids.len()];
+                    q.cancel(id);
+                    naive[s as usize].2 = false;
+                }
+                Op::Pop => {
+                    let want = naive
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.2)
+                        .min_by_key(|(_, e)| (e.0, e.1))
+                        .map(|(j, _)| j);
+                    let got = q.pop().map(|(t, s)| (t.as_nanos(), s));
+                    prop_assert_eq!(got, want.map(|j| (naive[j].0, naive[j].1)));
+                    if let Some(j) = want {
+                        naive[j].2 = false;
+                    }
+                }
+            }
+            let want_peek = naive.iter().filter(|e| e.2).map(|e| (e.0, e.1)).min();
+            prop_assert_eq!(
+                q.peek_time().map(|t| t.as_nanos()),
+                want_peek.map(|(t, _)| t)
+            );
+            prop_assert_eq!(q.live_len(), naive.iter().filter(|e| e.2).count());
+        }
+        // Drain: the tail must come out in exact (time, seq) order.
+        let mut rest: Vec<(u64, u64)> = naive
+            .iter()
+            .filter(|e| e.2)
+            .map(|e| (e.0, e.1))
+            .collect();
+        rest.sort_unstable();
+        for &want in &rest {
+            prop_assert_eq!(q.pop().map(|(t, s)| (t.as_nanos(), s)), Some(want));
+        }
+        prop_assert!(q.pop().is_none());
+    }
+
     /// Events always pop in nondecreasing time order, and ties pop in
     /// insertion order.
     #[test]
