@@ -433,6 +433,18 @@ pub fn run_shinjuku(cfg: ShinjukuConfig, spec: WorkloadSpec) -> RunReport {
             .iter()
             .filter(|w| matches!(w.state, WState::Running { .. }))
             .count() as u64;
+    let end = SimTime::ZERO + duration;
+    let oldest_inflight_ns = m
+        .queue
+        .iter()
+        .map(|t| t.arrived)
+        .chain(m.workers.iter().filter_map(|w| match &w.state {
+            WState::Running { task, .. } => Some(task.arrived),
+            _ => None,
+        }))
+        .map(|t| end.saturating_since(t).as_nanos())
+        .max()
+        .unwrap_or(0);
     RunReport {
         system: name,
         offered_rps: offered,
@@ -441,6 +453,7 @@ pub fn run_shinjuku(cfg: ShinjukuConfig, spec: WorkloadSpec) -> RunReport {
         completions: m.completions,
         dropped: m.dropped,
         in_flight,
+        oldest_inflight_ns,
         latency: m.latency,
         latency_by_class: m.latency_by_class,
         preemptions: m.preemptions,

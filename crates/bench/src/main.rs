@@ -12,7 +12,11 @@
 //!   run with no `FaultPlan` vs. an armed-but-unreachable one (injector
 //!   constructed, a watchdog per preemption, zero faults fire). The
 //!   results must be identical and the wall-clock overhead is the
-//!   number CI gates at < 2% (see `docs/FAULTS.md`).
+//!   number CI gates at < 2% (see `docs/FAULTS.md`);
+//! * the healthy-path cost of the admission gate: the same run with
+//!   admission disabled vs. armed with unreachable caps. Same
+//!   identical-results requirement, same < 2% CI gate (see
+//!   `docs/CHAOS.md`).
 //!
 //! `lp-bench --json` additionally writes `BENCH_results.json` (schema
 //! documented in `docs/PERFORMANCE.md`) for CI artifact upload and
@@ -25,6 +29,7 @@
 
 use std::time::Instant;
 
+use libpreemptible::runtime::AdmissionConfig;
 use libpreemptible::{run, FcfsPreempt, RunReport, RuntimeConfig, ServiceSource, WorkloadSpec};
 use lp_experiments::runner::{self, ArtifactOutput};
 use lp_experiments::{Scale, DEFAULT_SEED};
@@ -108,11 +113,16 @@ fn arm_cancel_rearm_per_sec() -> f64 {
 /// One iteration of the fault-overhead workload: preemption-heavy
 /// (every request needs many quanta), UINTR mechanism.
 fn fault_probe_run(faults: FaultPlan) -> RunReport {
+    probe_run(faults, AdmissionConfig::default())
+}
+
+fn probe_run(faults: FaultPlan, admission: AdmissionConfig) -> RunReport {
     run(
         RuntimeConfig {
             workers: 4,
             control_period: SimDur::millis(10),
             faults,
+            admission,
             ..RuntimeConfig::default()
         },
         Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
@@ -165,6 +175,47 @@ fn fault_overhead() -> (f64, f64, bool) {
     (healthy_secs, armed_secs, identical)
 }
 
+/// Wall-clock cost of the admission gate on the healthy path: the
+/// same run with admission disabled vs. armed with caps the workload
+/// never reaches (the gate is consulted at every dispatch but stays
+/// silent — no shed, no event, no RNG draw). Returns
+/// `(disabled_secs, armed_secs, results_identical)`, minimum over the
+/// measured iterations as in [`fault_overhead`]. Identical results are
+/// the byte-identity half of the "armed but idle" contract
+/// (`docs/CHAOS.md`); the wall-clock ratio is the number CI gates at
+/// < 2%.
+fn admission_overhead() -> (f64, f64, bool) {
+    let armed_cfg = || AdmissionConfig {
+        enabled: true,
+        queue_cap: usize::MAX,
+        brownout_cap: usize::MAX,
+        slo_aware: false,
+    };
+    let mut disabled_secs = f64::INFINITY;
+    let mut armed_secs = f64::INFINITY;
+    let mut identical = true;
+    for it in 0..WARMUP + ITERS {
+        let start = Instant::now();
+        let disabled = probe_run(FaultPlan::disabled(), AdmissionConfig::default());
+        let disabled_t = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let armed = probe_run(FaultPlan::disabled(), armed_cfg());
+        let armed_t = start.elapsed().as_secs_f64();
+        if it >= WARMUP {
+            disabled_secs = disabled_secs.min(disabled_t);
+            armed_secs = armed_secs.min(armed_t);
+        }
+        identical &= disabled.arrivals == armed.arrivals
+            && disabled.completions == armed.completions
+            && disabled.preemptions == armed.preemptions
+            && disabled.latency.p99() == armed.latency.p99()
+            && disabled.metrics.counters == armed.metrics.counters
+            && armed.metrics.counter("sheds") == 0
+            && armed.metrics.counter("admissions") == 0;
+    }
+    (disabled_secs, armed_secs, identical)
+}
+
 /// Runs the quick-scale artifact list once, returning the outputs and
 /// the wall-clock seconds.
 fn timed_all(jobs: usize) -> (Vec<(&'static str, ArtifactOutput)>, f64) {
@@ -205,6 +256,10 @@ fn main() {
     let (fault_healthy_secs, fault_armed_secs, fault_identical) = fault_overhead();
     let fault_overhead_pct = (fault_armed_secs / fault_healthy_secs - 1.0) * 100.0;
 
+    eprintln!("lp-bench: admission-gate overhead (disabled vs armed-idle) ...");
+    let (adm_disabled_secs, adm_armed_secs, adm_identical) = admission_overhead();
+    let adm_overhead_pct = (adm_armed_secs / adm_disabled_secs - 1.0) * 100.0;
+
     let jobs = runner::jobs();
     eprintln!("lp-bench: quick-scale all, serial ...");
     let (serial_out, serial_secs) = timed_all(1);
@@ -229,6 +284,13 @@ fn main() {
         "faults.results:         {}",
         if fault_identical { "identical" } else { "DIFFER" }
     );
+    println!("admission.disabled:     {adm_disabled_secs:>12.3} s");
+    println!("admission.armed:        {adm_armed_secs:>12.3} s");
+    println!("admission.overhead:     {adm_overhead_pct:>12.2} %");
+    println!(
+        "admission.results:      {}",
+        if adm_identical { "identical" } else { "DIFFER" }
+    );
     println!("all(quick).serial:      {serial_secs:>12.2} s");
     println!("all(quick).parallel:    {par_secs:>12.2} s  (LP_JOBS={jobs})");
     println!("all(quick).speedup:     {speedup:>12.2} x");
@@ -245,7 +307,7 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"schema\": \"lp-bench/2\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical},\n    \"parallel8_secs\": {par8_secs:.3},\n    \"speedup8\": {speedup8:.3},\n    \"outputs8_identical\": {identical8}\n  }}\n}}\n"
+            "{{\n  \"schema\": \"lp-bench/3\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"admission_overhead\": {{\n    \"disabled_secs\": {adm_disabled_secs:.3},\n    \"armed_secs\": {adm_armed_secs:.3},\n    \"overhead_pct\": {adm_overhead_pct:.3},\n    \"results_identical\": {adm_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical},\n    \"parallel8_secs\": {par8_secs:.3},\n    \"speedup8\": {speedup8:.3},\n    \"outputs8_identical\": {identical8}\n  }}\n}}\n"
         );
         std::fs::write("BENCH_results.json", body).expect("write BENCH_results.json");
         eprintln!("lp-bench: wrote BENCH_results.json");
@@ -257,6 +319,10 @@ fn main() {
     }
     if !fault_identical {
         eprintln!("lp-bench: armed-but-silent fault plan changed results — injector is not a no-op");
+        std::process::exit(1);
+    }
+    if !adm_identical {
+        eprintln!("lp-bench: armed-but-idle admission gate changed results — gate is not a no-op");
         std::process::exit(1);
     }
 }

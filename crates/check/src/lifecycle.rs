@@ -205,6 +205,18 @@ impl World {
                             attempt: i.attempt + 1,
                         });
                     }
+                    RetryOutput::Brownout { .. } => {
+                        // Brownout re-sends over the user-interrupt
+                        // path with SN repair, exactly like
+                        // `Retry { uintr: true }`; only the tier
+                        // bookkeeping (and the emitted event) differ.
+                        st.inflight = Some(Inflight {
+                            seq: i.seq,
+                            uintr: true,
+                            dropped: false,
+                            attempt: i.attempt + 1,
+                        });
+                    }
                     RetryOutput::Retry { uintr } => {
                         st.inflight = Some(Inflight {
                             seq: i.seq,
@@ -215,7 +227,7 @@ impl World {
                     }
                     other => {
                         violations.insert(format!(
-                            "worker {w}: Lost verdict must be Degrade or Retry, got {other:?}"
+                            "worker {w}: Lost verdict must be Degrade, Brownout, or Retry, got {other:?}"
                         ));
                     }
                 }
@@ -622,7 +634,7 @@ impl<'a> Explorer<'a> {
                     st.landed, self.scenario.expect_landed[w]
                 ));
             }
-            let (losses, _, _, _) = st.machine.fingerprint();
+            let (losses, _, _, _, _) = st.machine.fingerprint();
             if losses != 0 {
                 self.violations.insert(format!(
                     "worker {w}: machine holds {losses} unresolved losses at a completed terminal"

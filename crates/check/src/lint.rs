@@ -17,10 +17,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{
-    hot_alloc_allowance, nondet_file_allowance, relaxed_file_allowance, RuleId, EVENT_VOCAB_FILE,
-    FAULT_RNG_FILE, FAULT_RNG_TOKENS, HOT_ALLOC_FILES, HOT_ALLOC_TOKENS, NONDET_EXEMPT_CRATES,
-    NONDET_TOKENS, OBS_PAIRED_CRATES, POLICY_DIR, POLICY_PURITY_TOKENS, RETRY_STATE_CRATE,
-    RETRY_STATE_FIELDS, RETRY_STATE_FILE, UNSAFE_ALLOWED_CRATE, WORKERLESS_EVENTS,
+    hot_alloc_allowance, nondet_file_allowance, relaxed_file_allowance, RuleId, CHAOS_RNG_DIR,
+    CHAOS_RNG_TOKENS, EVENT_VOCAB_FILE, FAULT_RNG_FILE, FAULT_RNG_TOKENS, HOT_ALLOC_FILES,
+    HOT_ALLOC_TOKENS, NONDET_EXEMPT_CRATES, NONDET_TOKENS, OBS_PAIRED_CRATES, POLICY_DIR,
+    POLICY_PURITY_TOKENS, RETRY_STATE_CRATE, RETRY_STATE_FIELDS, RETRY_STATE_FILE,
+    UNSAFE_ALLOWED_CRATE, WORKERLESS_EVENTS,
 };
 
 /// One finding, pinned to a file and line.
@@ -644,6 +645,23 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
             }
         }
 
+        if rel.starts_with(CHAOS_RNG_DIR) {
+            for token in CHAOS_RNG_TOKENS {
+                if contains_token(code, token) {
+                    push(
+                        RuleId::ChaosRng,
+                        line,
+                        format!(
+                            "`{token}` in the chaos adversary — draw from \
+                             `rng(master, streams::CHAOS)` only, never seed an RNG here \
+                             (corpus replay depends on it; see docs/CHAOS.md)"
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+
         if contains_token(code, "Relaxed") {
             if let Some(why) = relaxed_file_allowance(rel) {
                 push(
@@ -1121,6 +1139,44 @@ mod tests {
         lint_file(
             "crates/sim/src/fault.rs",
             "let r = rng(master, streams::FAULTS);\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 0, "{}", r.human());
+    }
+
+    #[test]
+    fn chaos_rng_rule_is_scoped_to_the_chaos_directory() {
+        let vocab = BTreeSet::new();
+        // Seeding an RNG anywhere in the chaos crate fails the build.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/chaos/src/search.rs",
+            "let r = SmallRng::seed_from_u64(7);\n",
+            &vocab,
+            &mut r,
+        );
+        assert_eq!(r.violation_count(), 1, "{}", r.human());
+        assert!(r.diagnostics[0].message.contains("streams::CHAOS"));
+        // The same token elsewhere is not this rule's business (other
+        // rules may still apply).
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/sim/src/rng.rs",
+            "let r = SmallRng::seed_from_u64(7);\n",
+            &vocab,
+            &mut r,
+        );
+        assert!(
+            r.diagnostics.iter().all(|d| d.rule != RuleId::ChaosRng),
+            "{}",
+            r.human()
+        );
+        // Drawing via the blessed substream helper is clean.
+        let mut r = LintReport::default();
+        lint_file(
+            "crates/chaos/src/plan.rs",
+            "let r = rng(master, streams::CHAOS);\n",
             &vocab,
             &mut r,
         );

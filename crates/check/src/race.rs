@@ -208,12 +208,15 @@ fn event_worker(ev: &Event) -> Option<u16> {
         | Event::PreemptLanded { worker, .. }
         | Event::PreemptRetry { worker, .. }
         | Event::MechDegraded { worker, .. }
-        | Event::MechRecovered { worker } => Some(worker),
+        | Event::MechRecovered { worker }
+        | Event::MechBrownout { worker, .. } => Some(worker),
         Event::DeadlineArmed { slot, .. } | Event::DeadlineDisarmed { slot } => Some(slot),
         Event::TimerPoll { .. }
         | Event::IpcSampled { .. }
         | Event::Arrival { .. }
         | Event::Drop { .. }
+        | Event::Shed { .. }
+        | Event::Admitted { .. }
         | Event::QuantumAdjusted { .. }
         | Event::Marker { .. } => None,
     }
@@ -224,9 +227,11 @@ fn event_worker(ev: &Event) -> Option<u16> {
 /// receiving side of worker `w`.
 fn actor_of(ev: &Event) -> Actor {
     match *ev {
-        Event::Arrival { .. } | Event::Drop { .. } | Event::PolicyDispatch { .. } => {
-            Actor::Dispatcher
-        }
+        Event::Arrival { .. }
+        | Event::Drop { .. }
+        | Event::Shed { .. }
+        | Event::Admitted { .. }
+        | Event::PolicyDispatch { .. } => Actor::Dispatcher,
         Event::UipiDelivered { worker, .. }
         | Event::DeadlineArmed { slot: worker, .. }
         | Event::DeadlineDisarmed { slot: worker }

@@ -38,13 +38,17 @@ pub enum RuleId {
     /// container-growth tokens are banned from the wheel core outside a
     /// documented static allowlist.
     HotAlloc,
+    /// The chaos adversary (plan sampling, search moves, evaluation)
+    /// must draw all randomness from the frozen `streams::CHAOS`
+    /// substream — never seed or source an RNG of its own.
+    ChaosRng,
     /// A malformed suppression comment (missing rule or reason).
     BadAllow,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 12] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::Nondet,
         RuleId::ObsPair,
         RuleId::UnsafeScope,
@@ -56,6 +60,7 @@ impl RuleId {
         RuleId::WorkerId,
         RuleId::RetryTransition,
         RuleId::HotAlloc,
+        RuleId::ChaosRng,
         RuleId::BadAllow,
     ];
 
@@ -74,6 +79,7 @@ impl RuleId {
             RuleId::WorkerId => "worker-id",
             RuleId::RetryTransition => "retry-transition",
             RuleId::HotAlloc => "hot-alloc",
+            RuleId::ChaosRng => "chaos-rng",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -141,6 +147,13 @@ impl RuleId {
                  growing collection there turns O(1) pointer moves back into allocator \
                  traffic, so growth tokens are confined to the audited slab/overflow \
                  sites in rules::HOT_ALLOC_ALLOWLIST"
+            }
+            RuleId::ChaosRng => {
+                "the adversarial search is only trustworthy because its cliffs replay \
+                 byte-identically from the corpus; a chaos module seeding its own RNG \
+                 (instead of the frozen streams::CHAOS substream) would decouple the \
+                 searched plans from the master seed and make every minimized cliff \
+                 unreproducible"
             }
             RuleId::BadAllow => {
                 "a suppression without a known rule id and a reason defeats the audit \
@@ -289,12 +302,14 @@ pub const EVENT_VOCAB_FILE: &str = "crates/sim/src/obs/event.rs";
 /// timer-core aggregates, and free-form markers. Everything else must
 /// say which worker it concerns or the happens-before engine cannot
 /// place it ([`RuleId::WorkerId`]).
-pub const WORKERLESS_EVENTS: [&str; 6] = [
+pub const WORKERLESS_EVENTS: [&str; 8] = [
+    "Admitted",
     "Arrival",
     "Drop",
     "IpcSampled",
     "Marker",
     "QuantumAdjusted",
+    "Shed",
     "TimerPoll",
 ];
 
@@ -361,7 +376,25 @@ pub const RETRY_STATE_FILE: &str = "crates/preemptible/src/retry.rs";
 /// Field names of the watchdog health state. A write access spelled
 /// `.{field} = / += / -=` outside [`RETRY_STATE_FILE`] bypasses
 /// `RetryMachine::step` and fires [`RuleId::RetryTransition`].
-pub const RETRY_STATE_FIELDS: [&str; 4] = ["losses", "degraded", "degraded_sends", "probe_for"];
+pub const RETRY_STATE_FIELDS: [&str; 5] =
+    ["losses", "degraded", "brownout", "degraded_sends", "probe_for"];
+
+/// The directory [`RuleId::ChaosRng`] polices: the chaos adversary
+/// (every module under it, including future additions).
+pub const CHAOS_RNG_DIR: &str = "crates/chaos/src/";
+
+/// RNG seeding/sourcing tokens banned from [`CHAOS_RNG_DIR`]. Chaos
+/// plan sampling, search moves, and tie-breaking all receive their
+/// generator fully formed from `lp_sim::rng::rng(master,
+/// streams::CHAOS)`; any of these tokens would mean the adversary is
+/// minting entropy or substreams of its own.
+pub const CHAOS_RNG_TOKENS: [&str; 5] = [
+    "OsRng",
+    "SeedableRng",
+    "StdRng",
+    "from_entropy",
+    "seed_from_u64",
+];
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,9 @@
+//! Regenerates Fig. W (extension: worst-case response vs load,
+//! hardened vs unhardened).
+use lp_experiments::{common::Scale, figw, DEFAULT_SEED};
+fn main() {
+    let scale = Scale::from_env(Scale::Full);
+    let rows = figw::run_figw(scale, DEFAULT_SEED);
+    println!("{}", figw::table(&rows).render());
+    lp_experiments::common::save_csv("figW.csv", &figw::table(&rows).to_csv());
+}

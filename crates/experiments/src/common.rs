@@ -334,6 +334,7 @@ mod tests {
                 completions: rate as u64,
                 dropped: 0,
                 in_flight: 0,
+                oldest_inflight_ns: 0,
                 latency,
                 latency_by_class: vec![],
                 preemptions: 0,

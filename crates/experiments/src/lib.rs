@@ -32,6 +32,7 @@ pub mod fig2;
 pub mod fig8;
 pub mod fig9;
 pub mod figr;
+pub mod figw;
 pub mod runner;
 pub mod table1;
 pub mod table4;

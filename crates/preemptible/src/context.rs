@@ -278,6 +278,20 @@ impl ContextPool {
     pub fn iter_parked(&self) -> impl Iterator<Item = (ContextId, &Context)> + '_ {
         self.running_list.iter().map(move |&id| (id, &self.slots[id.0]))
     }
+
+    /// Earliest arrival time among live (active or parked) contexts,
+    /// or `None` when the pool is idle. At the end of a run this is
+    /// the oldest request the system failed to finish — a lower bound
+    /// on the true worst-case response that the completed-latency
+    /// histogram censors.
+    pub fn oldest_live_arrival(&self) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| **s != SlotState::Free)
+            .map(|(c, _)| c.arrived)
+            .min()
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,12 @@ pub struct RunReport {
     pub dropped: u64,
     /// Requests still in flight at the end.
     pub in_flight: u64,
+    /// Age of the oldest request still in flight when the run ended,
+    /// ns (`0` when nothing was in flight). The completed-latency
+    /// histogram censors requests the run never finished; this is the
+    /// lower bound they put on the true worst-case response — see
+    /// [`worst_case_ns`](Self::worst_case_ns).
+    pub oldest_inflight_ns: u64,
     /// End-to-end latency of all completed requests.
     pub latency: Histogram,
     /// Latency split by workload class (class 0 = LC, 1 = BE).
@@ -102,6 +108,16 @@ impl RunReport {
         self.cores.preemption_over_work()
     }
 
+    /// Censoring-aware worst-case response, ns: the worst completed
+    /// latency or the age of the oldest request the run never
+    /// finished, whichever is larger. Under overload the unfinished
+    /// backlog holds the true worst offenders, so `latency.max()`
+    /// alone understates (and with zero completions reports `0` for)
+    /// the worst case.
+    pub fn worst_case_ns(&self) -> u64 {
+        self.latency.max().max(self.oldest_inflight_ns)
+    }
+
     /// Conservation check: every arrival is accounted for.
     pub fn is_conserved(&self) -> bool {
         self.arrivals == self.completions + self.dropped + self.in_flight
@@ -153,6 +169,7 @@ mod tests {
             completions: 100,
             dropped: 2,
             in_flight: 3,
+            oldest_inflight_ns: 2_000_000,
             latency,
             latency_by_class: vec![],
             preemptions: 10,

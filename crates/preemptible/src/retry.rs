@@ -64,6 +64,11 @@ pub struct WatchdogConfig {
     /// Consecutive losses on the UINTR path before the worker degrades
     /// to signal delivery.
     pub degrade_after: u32,
+    /// Consecutive losses on the UINTR path before the worker enters
+    /// the brownout tier — still on the fast path, but flagged as
+    /// pressured so admission control tightens. Must be at most
+    /// `degrade_after`; the degrade verdict wins at its own threshold.
+    pub brownout_after: u32,
     /// While degraded, every this-many-th preemption is sent through
     /// UINTR as a probe; a probe that lands recovers the worker.
     pub probe_every: u32,
@@ -76,6 +81,7 @@ impl Default for WatchdogConfig {
         WatchdogConfig {
             timeout: SimDur::micros(50),
             degrade_after: 3,
+            brownout_after: 2,
             probe_every: 8,
             backoff: Backoff::new(SimDur::micros(5), SimDur::micros(80)),
         }
@@ -151,6 +157,15 @@ pub enum RetryOutput {
         /// The streak length that triggered the degrade.
         losses: u32,
     },
+    /// The loss streak crossed [`WatchdogConfig::brownout_after`] but
+    /// not yet the degrade threshold: the worker entered the brownout
+    /// tier. The caller emits `mech_brownout` and re-sends over the
+    /// UINTR path with SN repair, exactly like `Retry { uintr: true }`
+    /// — brownout changes admission pressure, not the delivery path.
+    Brownout {
+        /// The streak length that triggered the brownout.
+        losses: u32,
+    },
     /// A recovery probe's own arrival came back over UINTR on a
     /// degraded worker: the fast path healed. The caller emits
     /// `mech_recovered`.
@@ -159,10 +174,23 @@ pub enum RetryOutput {
     Noted,
 }
 
+/// The mechanism-health tier of a worker, derived from the retry
+/// machine. Ordered: `Healthy < Brownout < Degraded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// UINTR path, no concerning loss streak.
+    Healthy,
+    /// UINTR path, but the loss streak crossed the brownout threshold —
+    /// admission control treats the worker as pressured.
+    Brownout,
+    /// Kernel signal path (degrade-to-signals).
+    Degraded,
+}
+
 /// The per-worker lost-preemption retry/degrade/recover state machine.
 ///
 /// This is the **single** place the `losses` / `degraded` /
-/// `degraded_sends` / `probe_for` state moves: the runtime (and the
+/// `brownout` / `degraded_sends` / `probe_for` state moves: the runtime (and the
 /// `lp-check` DPOR lifecycle model, which drives this exact type)
 /// observes events and feeds them to [`step`](RetryMachine::step),
 /// then acts on the returned [`RetryOutput`]. Raw field writes outside
@@ -176,11 +204,16 @@ pub enum RetryOutput {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryMachine {
     degrade_after: u32,
+    brownout_after: u32,
     probe_every: u32,
     /// Consecutive lost preemptions seen by the watchdog.
     losses: u32,
     /// `true` once the worker fell back from UINTR to signal delivery.
     degraded: bool,
+    /// `true` while the worker sits in the brownout tier (loss streak
+    /// at or past `brownout_after`, not yet degraded). Cleared whenever
+    /// the streak resets, superseded by a degrade.
+    brownout: bool,
     /// Preemptions sent while degraded (drives the probe cadence).
     degraded_sends: u64,
     /// Run sequence of the in-flight UINTR recovery probe, if any. A
@@ -195,12 +228,18 @@ impl RetryMachine {
     /// cadence.
     pub fn new(cfg: &WatchdogConfig) -> Self {
         assert!(cfg.degrade_after >= 1, "degrade_after must be >= 1");
+        assert!(cfg.brownout_after >= 1, "brownout_after must be >= 1");
         assert!(cfg.probe_every >= 1, "probe_every must be >= 1");
+        // brownout_after >= degrade_after is allowed and simply means
+        // "no brownout tier": the degrade verdict wins at its own
+        // threshold, so the brownout check below can never pass first.
         RetryMachine {
             degrade_after: cfg.degrade_after,
+            brownout_after: cfg.brownout_after,
             probe_every: cfg.probe_every,
             losses: 0,
             degraded: false,
+            brownout: false,
             degraded_sends: 0,
             probe_for: None,
         }
@@ -230,8 +269,18 @@ impl RetryMachine {
                 }
                 if can_degrade && !self.degraded && self.losses >= self.degrade_after {
                     self.degraded = true;
+                    self.brownout = false; // superseded by the degrade
                     self.degraded_sends = 0;
                     return RetryOutput::Degrade { losses: self.losses };
+                }
+                if can_degrade
+                    && !self.degraded
+                    && !self.brownout
+                    && !was_probe
+                    && self.losses >= self.brownout_after
+                {
+                    self.brownout = true;
+                    return RetryOutput::Brownout { losses: self.losses };
                 }
                 RetryOutput::Retry {
                     uintr: can_degrade && !was_probe && !self.degraded,
@@ -239,6 +288,7 @@ impl RetryMachine {
             }
             RetryInput::Landed { seq, uintr } => {
                 self.losses = 0;
+                self.brownout = false;
                 if self.probe_for == Some(seq) {
                     self.probe_for = None;
                     if uintr && self.degraded {
@@ -253,6 +303,7 @@ impl RetryMachine {
             }
             RetryInput::Settled { seq } => {
                 self.losses = 0;
+                self.brownout = false;
                 if self.probe_for == Some(seq) {
                     // The probe's run ended without a UINTR arrival:
                     // no verdict either way, drop it.
@@ -273,6 +324,22 @@ impl RetryMachine {
         self.degraded
     }
 
+    /// Whether the worker sits in the brownout tier.
+    pub fn is_brownout(&self) -> bool {
+        self.brownout
+    }
+
+    /// The worker's mechanism-health tier, for admission pressure.
+    pub fn tier(&self) -> Tier {
+        if self.degraded {
+            Tier::Degraded
+        } else if self.brownout {
+            Tier::Brownout
+        } else {
+            Tier::Healthy
+        }
+    }
+
     /// Run sequence of the in-flight recovery probe, if one is armed.
     pub fn probe_seq(&self) -> Option<u64> {
         self.probe_for
@@ -280,8 +347,8 @@ impl RetryMachine {
 
     /// A totally ordered snapshot of the machine state, used by the
     /// `lp-check` DPOR explorer to fingerprint visited states.
-    pub fn fingerprint(&self) -> (u32, bool, u64, Option<u64>) {
-        (self.losses, self.degraded, self.degraded_sends, self.probe_for)
+    pub fn fingerprint(&self) -> (u32, bool, bool, u64, Option<u64>) {
+        (self.losses, self.degraded, self.brownout, self.degraded_sends, self.probe_for)
     }
 }
 
@@ -320,6 +387,8 @@ mod tests {
         assert!(wd.degrade_after >= 1);
         assert!(wd.probe_every >= 1);
         assert!(wd.backoff.delay(0) <= wd.timeout);
+        // The brownout tier sits strictly inside the ladder by default.
+        assert!((1..wd.degrade_after).contains(&wd.brownout_after));
     }
 
     /// Backoff cap saturation: once an attempt's doubled delay crosses
@@ -448,7 +517,7 @@ mod tests {
             m.step(RetryInput::Landed { seq: 11, uintr: true }),
             RetryOutput::Recovered
         );
-        assert_eq!(m.fingerprint(), (0, false, 0, None));
+        assert_eq!(m.fingerprint(), (0, false, false, 0, None));
         assert_eq!(m.step(RetryInput::Send { seq: 12 }), RetryOutput::Fast);
         // One loss is below the threshold again — no instant re-degrade.
         assert_eq!(
@@ -491,6 +560,79 @@ mod tests {
         assert!(m.is_degraded());
         m.step(RetryInput::Settled { seq: 4 });
         assert_eq!(m.probe_seq(), Some(5), "stale settle kept the probe");
+    }
+
+    fn machine_with_brownout(brownout_after: u32, degrade_after: u32) -> RetryMachine {
+        RetryMachine::new(&WatchdogConfig {
+            brownout_after,
+            degrade_after,
+            ..WatchdogConfig::default()
+        })
+    }
+
+    /// The brownout tier fires exactly once, strictly between the
+    /// thresholds, and the degrade verdict wins at its own threshold.
+    #[test]
+    fn brownout_sits_between_healthy_and_degraded() {
+        let mut m = machine_with_brownout(2, 4);
+        assert_eq!(m.tier(), Tier::Healthy);
+        assert_eq!(
+            m.step(RetryInput::Lost { seq: 0, can_degrade: true }),
+            RetryOutput::Retry { uintr: true }
+        );
+        assert_eq!(
+            m.step(RetryInput::Lost { seq: 1, can_degrade: true }),
+            RetryOutput::Brownout { losses: 2 }
+        );
+        assert_eq!(m.tier(), Tier::Brownout);
+        assert!(m.is_brownout() && !m.is_degraded());
+        // Brownout is edge-triggered: the next loss is a plain retry
+        // (still over UINTR — brownout does not change the path).
+        assert_eq!(
+            m.step(RetryInput::Lost { seq: 2, can_degrade: true }),
+            RetryOutput::Retry { uintr: true }
+        );
+        assert_eq!(
+            m.step(RetryInput::Lost { seq: 3, can_degrade: true }),
+            RetryOutput::Degrade { losses: 4 }
+        );
+        assert_eq!(m.tier(), Tier::Degraded);
+        assert!(!m.is_brownout(), "degrade supersedes brownout");
+    }
+
+    /// Any streak reset (a landing or a settle) drops the worker out of
+    /// brownout; signal mechanisms never brown out at all.
+    #[test]
+    fn brownout_clears_on_streak_reset() {
+        let mut m = machine_with_brownout(1, 3);
+        m.step(RetryInput::Lost { seq: 0, can_degrade: true });
+        assert_eq!(m.tier(), Tier::Brownout);
+        m.step(RetryInput::Landed { seq: 0, uintr: true });
+        assert_eq!(m.tier(), Tier::Healthy);
+        assert_eq!(m.fingerprint(), (0, false, false, 0, None));
+
+        m.step(RetryInput::Lost { seq: 1, can_degrade: true });
+        assert_eq!(m.tier(), Tier::Brownout);
+        m.step(RetryInput::Settled { seq: 1 });
+        assert_eq!(m.tier(), Tier::Healthy);
+
+        // can_degrade = false (signal mechanisms): no ladder at all.
+        let mut sig = machine_with_brownout(1, 3);
+        for seq in 0..8 {
+            assert_eq!(
+                sig.step(RetryInput::Lost { seq, can_degrade: false }),
+                RetryOutput::Retry { uintr: false }
+            );
+        }
+        assert_eq!(sig.tier(), Tier::Healthy);
+    }
+
+    /// Tier ordering backs the monotonicity proptests: the enum order
+    /// is the severity order.
+    #[test]
+    fn tier_order_is_severity_order() {
+        assert!(Tier::Healthy < Tier::Brownout);
+        assert!(Tier::Brownout < Tier::Degraded);
     }
 
     /// The probe cadence counts only degraded sends: every

@@ -38,7 +38,7 @@ use rand::rngs::SmallRng;
 use crate::context::{Context, ContextId, ContextPool};
 use crate::report::RunReport;
 use crate::sched::{Dispatch, Enqueue, ResumeSel, SchedCtx, SchedPolicy, TaskView};
-use crate::retry::{RetryInput, RetryMachine, RetryOutput, WatchdogConfig};
+use crate::retry::{RetryInput, RetryMachine, RetryOutput, Tier, WatchdogConfig};
 use crate::utimer::{SlotId, UtimerRegistry};
 
 /// How workers get preempted.
@@ -103,6 +103,47 @@ pub struct WorkloadSpec {
     pub warmup: SimDur,
 }
 
+/// Overload admission control (see `docs/CHAOS.md`).
+///
+/// When armed, the dispatcher consults the aggregate queue depth
+/// before allocating a context: past [`queue_cap`](Self::queue_cap)
+/// the request is shed outright, and while any worker's retry tier is
+/// above healthy (brownout or degraded) the tighter
+/// [`brownout_cap`](Self::brownout_cap) applies. Sheds count against
+/// the run's drop total (arrival conservation holds) and emit the
+/// typed [`Event::Shed`]; requests admitted *under pressure* emit
+/// [`Event::Admitted`]. An armed-but-idle run — admission on, but no
+/// queue ever past either cap and every worker healthy — is
+/// byte-identical to a run with admission disabled.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Master switch; the default is disabled.
+    pub enabled: bool,
+    /// Hard cap on total backlogged requests (dispatcher backlog, all
+    /// worker local queues, and parked — preempted but unfinished —
+    /// fibers). At or past the cap, any class is shed.
+    pub queue_cap: usize,
+    /// Tighter cap applied while any worker's retry tier is above
+    /// [`crate::retry::Tier::Healthy`]: brownout
+    /// pressure sheds earlier to protect latency-critical work.
+    pub brownout_cap: usize,
+    /// Shed best-effort (class 1) early when the last control window's
+    /// p99 exceeded the configured SLO and the queue is at least half
+    /// the cap.
+    pub slo_aware: bool,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            queue_cap: 256,
+            brownout_cap: 64,
+            slo_aware: false,
+        }
+    }
+}
+
 /// Runtime configuration (machine + library parameters).
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -146,6 +187,10 @@ pub struct RuntimeConfig {
     /// Lost-preemption watchdog parameters; consulted only when
     /// [`faults`](Self::faults) is enabled.
     pub watchdog: WatchdogConfig,
+    /// Overload admission control; disabled by default. An armed but
+    /// never-triggered admission gate leaves the run byte-identical to
+    /// a run without it.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -167,6 +212,7 @@ impl Default for RuntimeConfig {
             trace_capacity: 0,
             faults: FaultPlan::disabled(),
             watchdog: WatchdogConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -212,6 +258,14 @@ enum WState {
         started: SimTime,
         finish_ev: EventId,
     },
+}
+
+/// Outcome of one admission-gate evaluation: shed or admit, plus the
+/// aggregate queue depth the decision saw (exported on the event).
+#[derive(Debug, Clone, Copy)]
+struct AdmissionVerdict {
+    shed: bool,
+    queued: u32,
 }
 
 /// One armed lost-preemption deadline: the send issued for `seq`
@@ -511,7 +565,10 @@ impl LibPreemptibleSystem {
                 self.cfg.hw.deadline_arm
             }
             PreemptMech::KernelTimerSignal => {
-                let fault = self.injector.as_mut().and_then(|i| i.timer());
+                let fault = self
+                    .injector
+                    .as_mut()
+                    .and_then(|i| i.timer_at(start.as_nanos()));
                 if let Some(f) = fault {
                     self.obs.emit(
                         start,
@@ -654,7 +711,9 @@ impl LibPreemptibleSystem {
         }
 
         let mut remaining = remaining;
-        if let Some(CoreFault::Hog(stall)) = self.injector.as_mut().and_then(|i| i.core()) {
+        if let Some(CoreFault::Hog(stall)) =
+            self.injector.as_mut().and_then(|i| i.core_at(start.as_nanos()))
+        {
             // The core stalls mid-slice: the fiber burns `stall` extra
             // on-CPU time and no preemption can land inside the window.
             self.obs.emit(
@@ -835,7 +894,7 @@ impl LibPreemptibleSystem {
                 uintr: true,
             },
         );
-        let fault = self.injector.as_mut().and_then(|i| i.ipi());
+        let fault = self.injector.as_mut().and_then(|i| i.ipi_at(at.as_nanos()));
         if let Some(f) = fault {
             self.obs.emit(
                 at,
@@ -901,7 +960,7 @@ impl LibPreemptibleSystem {
                 uintr: false,
             },
         );
-        let fault = self.injector.as_mut().and_then(|i| i.signal());
+        let fault = self.injector.as_mut().and_then(|i| i.signal_at(at.as_nanos()));
         if let Some(f) = fault {
             self.obs.emit(
                 at,
@@ -1030,6 +1089,31 @@ impl LibPreemptibleSystem {
                 );
                 self.send_preempt_signal(worker, seq, now, attempt + 1, ctx);
             }
+            RetryOutput::Brownout { losses } => {
+                // Intermediate tier: the worker is visibly losing
+                // preemptions but has not yet earned the signal-path
+                // degrade. Announce the pressure (admission control
+                // keys off it) and re-send over UINTR with SN repair,
+                // exactly like `Retry { uintr: true }`.
+                self.obs.emit(
+                    now,
+                    Event::MechBrownout {
+                        worker: worker as u16,
+                        losses: losses.min(u32::from(u8::MAX)) as u8,
+                    },
+                );
+                let delay = self.cfg.watchdog.backoff.delay(attempt);
+                self.obs.emit(
+                    now,
+                    Event::PreemptRetry {
+                        worker: worker as u16,
+                        seq,
+                        attempt: attempt.min(u32::from(u8::MAX)) as u8,
+                        delay_ns: delay.as_nanos(),
+                    },
+                );
+                self.send_preempt_uipi(worker, seq, now + delay, attempt + 1, true, ctx);
+            }
             RetryOutput::Retry { uintr } => {
                 let delay = self.cfg.watchdog.backoff.delay(attempt);
                 self.obs.emit(
@@ -1051,7 +1135,7 @@ impl LibPreemptibleSystem {
                     self.send_preempt_signal(worker, seq, at, attempt + 1, ctx);
                 }
             }
-            other => unreachable!("Lost verdict is Degrade or Retry, got {other:?}"),
+            other => unreachable!("Lost verdict is Degrade, Brownout, or Retry, got {other:?}"),
         }
     }
 
@@ -1200,6 +1284,43 @@ impl LibPreemptibleSystem {
         }
     }
 
+    /// Evaluates the admission gate for a request of `class` about to
+    /// be dispatched. `None` means the gate is idle (no overload, no
+    /// mechanism pressure): nothing is emitted and the run stays
+    /// byte-identical to one with admission disabled. `Some` carries
+    /// the shed/admit decision plus the queue depth it was based on.
+    ///
+    /// The gate reads only existing state — queue lengths, retry tiers,
+    /// the last control window — and never samples RNG, so arming it
+    /// costs no stream draws.
+    fn admission_verdict(&self, class: u8) -> Option<AdmissionVerdict> {
+        // Backlog = everything not currently executing: the dispatcher
+        // queue, worker local queues, and parked fibers. Under a
+        // preemptive policy the overload mass sits in the parked set
+        // (every quantum expiry parks the fiber again), so leaving it
+        // out would blind the gate exactly when it matters.
+        let queued = self.dispatch_queue.len()
+            + self.workers.iter().map(|w| w.local.len()).sum::<usize>()
+            + self.pool.parked();
+        let depth = u32::try_from(queued).unwrap_or(u32::MAX);
+        let adm = &self.cfg.admission;
+        let pressured = self.workers.iter().any(|w| w.retry.tier() > Tier::Healthy);
+        let cap = if pressured { adm.brownout_cap.min(adm.queue_cap) } else { adm.queue_cap };
+        if queued >= cap {
+            return Some(AdmissionVerdict { shed: true, queued: depth });
+        }
+        if adm.slo_aware && class == 1 && queued >= adm.queue_cap / 2 {
+            if let (Some(slo), Some(win)) = (self.cfg.slo, self.last_window.as_ref()) {
+                if win.p99_ns > slo.as_nanos() {
+                    return Some(AdmissionVerdict { shed: true, queued: depth });
+                }
+            }
+        }
+        // Below every cap: the gate only speaks when the mechanism is
+        // under visible pressure, so a healthy armed run stays silent.
+        pressured.then_some(AdmissionVerdict { shed: false, queued: depth })
+    }
+
     fn handle_finish(&mut self, worker: usize, seq: u64, ctx: &mut Ctx<'_, Ev>) {
         if self.workers[worker].seq != seq {
             return; // cancelled-but-raced finish; ignore
@@ -1294,6 +1415,30 @@ impl Model for LibPreemptibleSystem {
                     .dispatch_queue
                     .pop_front()
                     .expect("dispatched event without pending request");
+                if self.cfg.admission.enabled {
+                    if let Some(verdict) = self.admission_verdict(req.class) {
+                        let queued = verdict.queued;
+                        if verdict.shed {
+                            // A shed is a drop taken early, before a
+                            // context is burned on a request the queue
+                            // cannot serve in time: it counts against
+                            // the same conservation total as a
+                            // pool-exhaustion drop, but carries its own
+                            // typed event so overload behaviour is
+                            // attributable in traces.
+                            self.dropped += 1;
+                            self.obs.emit(
+                                ctx.now(),
+                                Event::Shed { class: req.class, queued },
+                            );
+                            return;
+                        }
+                        self.obs.emit(
+                            ctx.now(),
+                            Event::Admitted { class: req.class, queued },
+                        );
+                    }
+                }
                 match self
                     .pool
                     .allocate(self.arrivals, req.arrived, req.service, req.class)
@@ -1359,7 +1504,7 @@ impl Model for LibPreemptibleSystem {
                             uintr: false,
                         },
                     );
-                    let fault = self.injector.as_mut().and_then(|i| i.signal());
+                    let fault = self.injector.as_mut().and_then(|i| i.signal_at(now.as_nanos()));
                     if let Some(f) = fault {
                         self.obs.emit(
                             now,
@@ -1475,6 +1620,15 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn SchedPolicy>, spec: WorkloadSpec)
     }
     let in_flight =
         m.pool.live() as u64 + m.dispatch_queue.len() as u64;
+    let end = SimTime::ZERO + duration;
+    let oldest_inflight_ns = m
+        .pool
+        .oldest_live_arrival()
+        .into_iter()
+        .chain(m.dispatch_queue.iter().map(|p| p.arrived))
+        .map(|t| end.saturating_since(t).as_nanos())
+        .max()
+        .unwrap_or(0);
     RunReport {
         system: system_name,
         offered_rps: offered,
@@ -1483,6 +1637,7 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn SchedPolicy>, spec: WorkloadSpec)
         completions: m.completions,
         dropped: m.dropped,
         in_flight,
+        oldest_inflight_ns,
         latency: m.latency,
         latency_by_class: m.latency_by_class,
         preemptions: m.preemptions,

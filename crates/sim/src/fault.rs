@@ -129,6 +129,50 @@ pub enum Site {
     Core,
 }
 
+impl Site {
+    /// Every site, in the frozen index order used by reports and the
+    /// injector's internal arrays. JSON exports iterate this array, so
+    /// per-site counters always serialize in the same byte order.
+    pub const ALL: [Site; 4] = [Site::Ipi, Site::Timer, Site::Signal, Site::Core];
+
+    /// Stable snake_case label (the JSON key of per-site counters).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Site::Ipi => "ipi",
+            Site::Timer => "timer",
+            Site::Signal => "signal",
+            Site::Core => "core",
+        }
+    }
+}
+
+/// A time-bounded rate boost: while `from_ns <= now < until_ns`, `rate`
+/// is added to `kind`'s base rate. Windows are how `lp-chaos` lowers
+/// sequenced/overlaid fault storms onto the injector — a burst is a
+/// window, a wave is several.
+///
+/// A plan with no windows samples exactly like one built before windows
+/// existed (same RNG draws at every decision), so the combinator layer
+/// is free for everyone who does not use it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// What to inject while the window is open.
+    pub kind: FaultKind,
+    /// Extra per-decision probability added inside the window.
+    pub rate: f64,
+    /// Window start (inclusive), nanoseconds of sim time.
+    pub from_ns: u64,
+    /// Window end (exclusive), nanoseconds of sim time.
+    pub until_ns: u64,
+}
+
+impl FaultWindow {
+    /// Whether the window is open at `now_ns`.
+    pub fn open_at(&self, now_ns: u64) -> bool {
+        self.from_ns <= now_ns && now_ns < self.until_ns
+    }
+}
+
 /// An exact, deterministic injection: fire `kind` at the site's
 /// `occurrence`-th decision (0-based).
 ///
@@ -183,6 +227,8 @@ pub struct FaultPlan {
     pub contention_waiters: u32,
     /// Exact occurrence-indexed injections (checked before the rates).
     pub schedule: Vec<ScheduledFault>,
+    /// Time-bounded rate boosts, added to the base rates while open.
+    pub windows: Vec<FaultWindow>,
 }
 
 impl Default for FaultPlan {
@@ -204,6 +250,7 @@ impl Default for FaultPlan {
             core_hog_ns: 200_000,
             contention_waiters: 8,
             schedule: Vec::new(),
+            windows: Vec::new(),
         }
     }
 }
@@ -229,12 +276,52 @@ impl FaultPlan {
         p
     }
 
+    /// A plan injecting only `kind`, at `rate`, inside
+    /// `[from_ns, until_ns)` of sim time.
+    pub fn windowed(kind: FaultKind, rate: f64, from_ns: u64, until_ns: u64) -> Self {
+        let mut p = FaultPlan::default();
+        p.windows.push(FaultWindow { kind, rate, from_ns, until_ns });
+        p
+    }
+
     /// Whether this plan can inject anything at all. Disabled plans must
     /// never reach a [`FaultInjector`] decision (callers gate on this),
     /// which is what keeps healthy runs byte-identical.
+    ///
+    /// This is exactly "some site is armed" — the same per-site
+    /// predicate ([`site_armed`](FaultPlan::site_armed)) the injector
+    /// gates its hot path on, so `enabled()` and the injector can never
+    /// disagree about a plan. In particular a schedule entry whose rate
+    /// never matters (`once(kind, 0)`) arms its site, while a rate-0
+    /// plan (`only(kind, 0.0)`) arms nothing.
     pub fn enabled(&self) -> bool {
-        !self.schedule.is_empty()
-            || FaultKind::ALL.iter().any(|&k| self.rate(k) > 0.0)
+        Site::ALL.iter().any(|&s| self.site_armed(s))
+    }
+
+    /// Sum of the base (always-on) rates of `site`'s kinds.
+    pub fn site_rate_total(&self, site: Site) -> f64 {
+        Self::site_kinds(site).iter().map(|&k| self.rate(k)).sum()
+    }
+
+    /// Whether the schedule mentions `site`.
+    pub fn site_scheduled(&self, site: Site) -> bool {
+        self.schedule.iter().any(|s| s.kind.site() == site)
+    }
+
+    /// Whether any window with a positive rate targets `site`.
+    pub fn site_windowed(&self, site: Site) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind.site() == site && w.rate > 0.0 && w.from_ns < w.until_ns)
+    }
+
+    /// Whether `site` can ever inject: a schedule entry, a positive base
+    /// rate, or an open-able window. The single source of truth shared
+    /// by [`enabled`](FaultPlan::enabled) and the injector's gating.
+    pub fn site_armed(&self, site: Site) -> bool {
+        self.site_scheduled(site)
+            || self.site_rate_total(site) > 0.0
+            || self.site_windowed(site)
     }
 
     /// The probabilistic rate configured for `kind`.
@@ -394,8 +481,15 @@ pub struct FaultInjector {
     /// compare instead of a match-dispatched re-sum.
     totals: [f64; 4],
     /// Per-site "the schedule mentions this site" flags; sites with no
-    /// entry skip the occurrence bookkeeping entirely.
+    /// entry skip the schedule scan entirely.
     scheduled: [bool; 4],
+    /// Per-site "the plan has windows for this site" flags; the common
+    /// windowless plan never touches the window list on a decision.
+    windowed: [bool; 4],
+    /// Per-kind injection counts, indexed by the `u8` wire value —
+    /// exported in frozen [`FaultKind::ALL`] order so corpus diffs are
+    /// byte-stable.
+    injected: [u64; FaultKind::ALL.len()],
 }
 
 const fn site_index(site: Site) -> usize {
@@ -413,11 +507,11 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan, master: u64) -> Self {
         let mut totals = [0.0f64; 4];
         let mut scheduled = [false; 4];
-        for k in FaultKind::ALL {
-            totals[site_index(k.site())] += plan.rate(k);
-        }
-        for s in &plan.schedule {
-            scheduled[site_index(s.kind.site())] = true;
+        let mut windowed = [false; 4];
+        for (i, &s) in Site::ALL.iter().enumerate() {
+            totals[i] = plan.site_rate_total(s);
+            scheduled[i] = plan.site_scheduled(s);
+            windowed[i] = plan.site_windowed(s);
         }
         FaultInjector {
             plan,
@@ -428,6 +522,8 @@ impl FaultInjector {
             core_n: 0,
             totals,
             scheduled,
+            windowed,
+            injected: [0; FaultKind::ALL.len()],
         }
     }
 
@@ -436,9 +532,15 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Decide the fate of the next `SENDUIPI`.
+    /// Decide the fate of the next `SENDUIPI` (windows evaluated at
+    /// sim time zero; windowless plans are unaffected).
     pub fn ipi(&mut self) -> Option<IpiFault> {
-        let kind = self.decide(Site::Ipi)?;
+        self.ipi_at(0)
+    }
+
+    /// Decide the fate of the next `SENDUIPI` at sim time `now_ns`.
+    pub fn ipi_at(&mut self, now_ns: u64) -> Option<IpiFault> {
+        let kind = self.decide(Site::Ipi, now_ns)?;
         Some(match kind {
             FaultKind::IpiDrop => IpiFault::Drop,
             FaultKind::IpiDelay => IpiFault::Delay(SimDur::nanos(self.plan.ipi_delay_ns)),
@@ -449,9 +551,15 @@ impl FaultInjector {
         })
     }
 
-    /// Decide the fate of the next kernel-timer arming.
+    /// Decide the fate of the next kernel-timer arming (windows
+    /// evaluated at sim time zero).
     pub fn timer(&mut self) -> Option<TimerFault> {
-        let kind = self.decide(Site::Timer)?;
+        self.timer_at(0)
+    }
+
+    /// Decide the fate of the next kernel-timer arming at `now_ns`.
+    pub fn timer_at(&mut self, now_ns: u64) -> Option<TimerFault> {
+        let kind = self.decide(Site::Timer, now_ns)?;
         Some(match kind {
             FaultKind::TimerMiss => TimerFault::Miss,
             FaultKind::TimerSpike => {
@@ -462,9 +570,15 @@ impl FaultInjector {
         })
     }
 
-    /// Decide the fate of the next kernel-signal delivery.
+    /// Decide the fate of the next kernel-signal delivery (windows
+    /// evaluated at sim time zero).
     pub fn signal(&mut self) -> Option<SignalFault> {
-        let kind = self.decide(Site::Signal)?;
+        self.signal_at(0)
+    }
+
+    /// Decide the fate of the next kernel-signal delivery at `now_ns`.
+    pub fn signal_at(&mut self, now_ns: u64) -> Option<SignalFault> {
+        let kind = self.decide(Site::Signal, now_ns)?;
         Some(match kind {
             FaultKind::SignalLost => SignalFault::Lost,
             FaultKind::SignalContention => {
@@ -474,9 +588,15 @@ impl FaultInjector {
         })
     }
 
-    /// Decide the fate of the next task launch on a worker core.
+    /// Decide the fate of the next task launch on a worker core
+    /// (windows evaluated at sim time zero).
     pub fn core(&mut self) -> Option<CoreFault> {
-        let kind = self.decide(Site::Core)?;
+        self.core_at(0)
+    }
+
+    /// Decide the fate of the next task launch at `now_ns`.
+    pub fn core_at(&mut self, now_ns: u64) -> Option<CoreFault> {
+        let kind = self.decide(Site::Core, now_ns)?;
         Some(match kind {
             FaultKind::CoreHog => CoreFault::Hog(SimDur::nanos(self.plan.core_hog_ns)),
             _ => unreachable!("non-core kind decided at the core site"),
@@ -485,32 +605,46 @@ impl FaultInjector {
 
     /// One decision at `site`: schedule entries first (exact occurrence
     /// match wins, earliest-declared entry breaks ties), then one
-    /// uniform draw partitioned by the site's cumulative rates — a
-    /// single draw per decision keeps the stream consumption pattern
-    /// independent of which kinds are enabled.
-    fn decide(&mut self, site: Site) -> Option<FaultKind> {
+    /// uniform draw partitioned by the site's cumulative rates (base
+    /// rates plus any windows open at `now_ns`) — a single draw per
+    /// decision keeps the stream consumption pattern independent of
+    /// which kinds are enabled.
+    fn decide(&mut self, site: Site, now_ns: u64) -> Option<FaultKind> {
         let idx = site_index(site);
-        // Occurrence bookkeeping only exists to match schedule entries;
-        // a site the schedule never mentions skips it.
+        let counter = match site {
+            Site::Ipi => &mut self.ipi_n,
+            Site::Timer => &mut self.timer_n,
+            Site::Signal => &mut self.signal_n,
+            Site::Core => &mut self.core_n,
+        };
+        let n = *counter;
+        *counter += 1;
+        // The schedule scan only exists to match schedule entries; a
+        // site the schedule never mentions skips it.
         if self.scheduled[idx] {
-            let counter = match site {
-                Site::Ipi => &mut self.ipi_n,
-                Site::Timer => &mut self.timer_n,
-                Site::Signal => &mut self.signal_n,
-                Site::Core => &mut self.core_n,
-            };
-            let n = *counter;
-            *counter += 1;
             if let Some(s) = self
                 .plan
                 .schedule
                 .iter()
                 .find(|s| s.kind.site() == site && s.occurrence == n)
             {
+                self.injected[s.kind as usize] += 1;
                 return Some(s.kind);
             }
         }
-        if self.totals[idx] <= 0.0 {
+        // Windows boost the site total while open; the common
+        // windowless plan pays nothing here.
+        let boost = if self.windowed[idx] {
+            self.plan
+                .windows
+                .iter()
+                .filter(|w| w.kind.site() == site && w.open_at(now_ns))
+                .map(|w| w.rate)
+                .sum()
+        } else {
+            0.0
+        };
+        if self.totals[idx] + boost <= 0.0 {
             return None; // no draw: rate-0 sites are true no-ops
         }
         let kinds = FaultPlan::site_kinds(site);
@@ -518,11 +652,60 @@ impl FaultInjector {
         let mut acc = 0.0;
         for &k in kinds {
             acc += self.plan.rate(k);
+            if boost > 0.0 {
+                acc += self
+                    .plan
+                    .windows
+                    .iter()
+                    .filter(|w| w.kind == k && w.open_at(now_ns))
+                    .map(|w| w.rate)
+                    .sum::<f64>();
+            }
             if x < acc {
+                self.injected[k as usize] += 1;
                 return Some(k);
             }
         }
         None
+    }
+
+    /// Per-site decision counts in frozen [`Site::ALL`] order.
+    pub fn site_decisions(&self) -> [(&'static str, u64); 4] {
+        [
+            (Site::Ipi.name(), self.ipi_n),
+            (Site::Timer.name(), self.timer_n),
+            (Site::Signal.name(), self.signal_n),
+            (Site::Core.name(), self.core_n),
+        ]
+    }
+
+    /// Per-kind injection counts in frozen [`FaultKind::ALL`] (wire)
+    /// order.
+    pub fn injected_counts(&self) -> [(&'static str, u64); FaultKind::ALL.len()] {
+        let mut out = [("", 0u64); FaultKind::ALL.len()];
+        for (i, &k) in FaultKind::ALL.iter().enumerate() {
+            out[i] = (k.name(), self.injected[k as usize]);
+        }
+        out
+    }
+
+    /// One JSON object with the per-site decision counts and per-kind
+    /// injection counts, keys in frozen declaration order — never map
+    /// order — so replay reports diff byte-for-byte.
+    pub fn occurrences_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"sites\":{");
+        for (i, (name, n)) in self.site_decisions().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\"{name}\":{n}");
+        }
+        out.push_str("},\"injected\":{");
+        for (i, (name, n)) in self.injected_counts().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\"{name}\":{n}");
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -622,6 +805,86 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::only(FaultKind::SignalLost, 0.5), 11);
         let hits = (0..2_000).filter(|_| inj.signal().is_some()).count();
         assert!((800..1_200).contains(&hits), "{hits} hits at rate 0.5");
+    }
+
+    #[test]
+    fn enabled_agrees_with_the_injector_gate() {
+        // Regression (issue 9): `once(kind, 0)` must report enabled —
+        // its schedule entry fires at the site's very first decision —
+        // while a rate-0 plan stays disabled. Both answers now come
+        // from the same per-site `site_armed` predicate the injector
+        // gates on, so they cannot drift apart again.
+        let armed = FaultPlan::once(FaultKind::IpiDrop, 0);
+        assert!(armed.enabled());
+        assert!(armed.site_armed(Site::Ipi));
+        let mut inj = FaultInjector::new(armed, 9);
+        assert_eq!(inj.ipi(), Some(IpiFault::Drop), "occurrence 0 is the first decision");
+
+        let dead = FaultPlan::only(FaultKind::IpiDrop, 0.0);
+        assert!(!dead.enabled());
+        assert!(Site::ALL.iter().all(|&s| !dead.site_armed(s)));
+
+        // A zero-rate or inverted window arms nothing either.
+        assert!(!FaultPlan::windowed(FaultKind::CoreHog, 0.0, 0, 1_000).enabled());
+        assert!(!FaultPlan::windowed(FaultKind::CoreHog, 0.5, 1_000, 1_000).enabled());
+        assert!(FaultPlan::windowed(FaultKind::CoreHog, 0.5, 0, 1_000).enabled());
+    }
+
+    #[test]
+    fn windows_fire_only_while_open() {
+        let plan = FaultPlan::windowed(FaultKind::SignalLost, 1.0, 1_000, 2_000);
+        let mut inj = FaultInjector::new(plan, 17);
+        assert_eq!(inj.signal_at(999), None);
+        assert_eq!(inj.signal_at(1_000), Some(SignalFault::Lost));
+        assert_eq!(inj.signal_at(1_999), Some(SignalFault::Lost));
+        assert_eq!(inj.signal_at(2_000), None, "until_ns is exclusive");
+        // Other sites are untouched by the window.
+        assert_eq!(inj.ipi_at(1_500), None);
+    }
+
+    #[test]
+    fn windowless_plans_sample_identically_through_the_timed_api() {
+        // The timed decision path must be a strict extension: with no
+        // windows, `*_at(now)` consumes the RNG exactly like the
+        // original untimed methods, whatever `now` is.
+        let plan = {
+            let mut p = FaultPlan::only(FaultKind::IpiDrop, 0.3);
+            p.signal_lost = 0.4;
+            p
+        };
+        let mut a = FaultInjector::new(plan.clone(), 23);
+        let mut b = FaultInjector::new(plan, 23);
+        for i in 0..200u64 {
+            assert_eq!(a.ipi(), b.ipi_at(i * 1_000));
+            assert_eq!(a.signal(), b.signal_at(i * 7_777));
+        }
+    }
+
+    #[test]
+    fn occurrence_export_is_fixed_order() {
+        let mut plan = FaultPlan::only(FaultKind::IpiDrop, 1.0);
+        plan.core_hog = 1.0;
+        let mut inj = FaultInjector::new(plan, 4);
+        for _ in 0..3 {
+            inj.ipi();
+        }
+        inj.core();
+        inj.timer();
+        let sites = inj.site_decisions();
+        assert_eq!(sites[0], ("ipi", 3));
+        assert_eq!(sites[1], ("timer", 1));
+        assert_eq!(sites[2], ("signal", 0));
+        assert_eq!(sites[3], ("core", 1));
+        let injected = inj.injected_counts();
+        assert_eq!(injected[0], ("ipi_drop", 3));
+        assert_eq!(injected[10], ("core_hog", 1));
+        // The JSON export iterates the frozen arrays, so its bytes are
+        // a pure function of the counts — never map order.
+        let json = inj.occurrences_json();
+        assert!(json.starts_with(
+            "{\"sites\":{\"ipi\":3,\"timer\":1,\"signal\":0,\"core\":1},\"injected\":{\"ipi_drop\":3,"
+        ));
+        assert!(json.ends_with("\"core_hog\":1}}"));
     }
 
     #[test]

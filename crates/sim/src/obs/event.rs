@@ -248,6 +248,32 @@ pub enum Event {
         /// Recovered worker.
         worker: u16,
     },
+    /// A worker entered the brownout tier: repeated UINTR losses short
+    /// of the degrade threshold. The fast path stays in use but the
+    /// admission controller treats the worker as pressured.
+    MechBrownout {
+        /// Browned-out worker.
+        worker: u16,
+        /// Consecutive losses that triggered the brownout.
+        losses: u8,
+    },
+    /// The admission controller rejected a request at dispatch: queues
+    /// (or the deadline estimate) said it could not finish usefully.
+    Shed {
+        /// Workload class.
+        class: u8,
+        /// Total requests queued runtime-wide at the decision.
+        queued: u32,
+    },
+    /// The admission controller admitted a request while the runtime
+    /// was under pressure (only emitted under pressure, so an idle
+    /// armed controller stays invisible).
+    Admitted {
+        /// Workload class.
+        class: u8,
+        /// Total requests queued runtime-wide at the decision.
+        queued: u32,
+    },
 }
 
 impl Event {
@@ -282,6 +308,9 @@ impl Event {
             Event::PreemptRetry { .. } => "preempt_retry",
             Event::MechDegraded { .. } => "mech_degraded",
             Event::MechRecovered { .. } => "mech_recovered",
+            Event::MechBrownout { .. } => "mech_brownout",
+            Event::Shed { .. } => "shed",
+            Event::Admitted { .. } => "admitted",
         }
     }
 }
@@ -376,6 +405,15 @@ impl fmt::Display for Event {
             }
             Event::MechRecovered { worker } => {
                 write!(f, "worker {worker} recovered to uintr path")
+            }
+            Event::MechBrownout { worker, losses } => {
+                write!(f, "worker {worker} browned out after {losses} losses")
+            }
+            Event::Shed { class, queued } => {
+                write!(f, "shed (class {class}, {queued} queued)")
+            }
+            Event::Admitted { class, queued } => {
+                write!(f, "admitted under pressure (class {class}, {queued} queued)")
             }
         }
     }
@@ -484,6 +522,12 @@ impl TimedEvent {
             }
             Event::MechRecovered { worker } => {
                 let _ = write!(out, ",\"worker\":{worker}");
+            }
+            Event::MechBrownout { worker, losses } => {
+                let _ = write!(out, ",\"worker\":{worker},\"losses\":{losses}");
+            }
+            Event::Shed { class, queued } | Event::Admitted { class, queued } => {
+                let _ = write!(out, ",\"class\":{class},\"queued\":{queued}");
             }
         }
         out.push('}');
@@ -604,6 +648,18 @@ impl TimedEvent {
             "mech_recovered" => {
                 Event::MechRecovered { worker: field_u64(line, "worker")? as u16 }
             }
+            "mech_brownout" => Event::MechBrownout {
+                worker: field_u64(line, "worker")? as u16,
+                losses: field_u64(line, "losses")? as u8,
+            },
+            "shed" => Event::Shed {
+                class: field_u64(line, "class")? as u8,
+                queued: field_u64(line, "queued")? as u32,
+            },
+            "admitted" => Event::Admitted {
+                class: field_u64(line, "class")? as u8,
+                queued: field_u64(line, "queued")? as u32,
+            },
             _ => return None,
         };
         Some(TimedEvent { at: SimTime::from_nanos(t), ev })
@@ -680,6 +736,9 @@ mod tests {
             Event::PreemptRetry { worker: 1, seq: 9, attempt: 2, delay_ns: 40_000 },
             Event::MechDegraded { worker: 1, losses: 3 },
             Event::MechRecovered { worker: 1 },
+            Event::MechBrownout { worker: 1, losses: 2 },
+            Event::Shed { class: 1, queued: 257 },
+            Event::Admitted { class: 0, queued: 31 },
         ];
         evs.iter()
             .enumerate()

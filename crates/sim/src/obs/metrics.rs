@@ -50,11 +50,14 @@ pub enum Counter {
     SlicesGranted,
     PreemptsIssued,
     PreemptsLanded,
+    MechBrownouts,
+    Sheds,
+    Admissions,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 39] = [
         Counter::UipiSent,
         Counter::UipiDelivered,
         Counter::UipiCoalesced,
@@ -93,6 +96,9 @@ impl Counter {
         // pinned by tests (and downstream diffs) to the order above.
         Counter::PreemptsIssued,
         Counter::PreemptsLanded,
+        Counter::MechBrownouts,
+        Counter::Sheds,
+        Counter::Admissions,
     ];
 
     /// Stable snake_case name (the JSONL/snapshot key).
@@ -134,6 +140,9 @@ impl Counter {
             Counter::SlicesGranted => "slices_granted",
             Counter::PreemptsIssued => "preempts_issued",
             Counter::PreemptsLanded => "preempts_landed",
+            Counter::MechBrownouts => "mech_brownouts",
+            Counter::Sheds => "sheds",
+            Counter::Admissions => "admissions",
         }
     }
 }
@@ -262,6 +271,9 @@ impl Metrics {
             Event::PreemptRetry { .. } => self.bump(Counter::PreemptRetries),
             Event::MechDegraded { .. } => self.bump(Counter::MechDegradations),
             Event::MechRecovered { .. } => self.bump(Counter::MechRecoveries),
+            Event::MechBrownout { .. } => self.bump(Counter::MechBrownouts),
+            Event::Shed { .. } => self.bump(Counter::Sheds),
+            Event::Admitted { .. } => self.bump(Counter::Admissions),
         }
     }
 

@@ -54,6 +54,8 @@ pub mod streams {
     pub const BALANCE: u64 = 7;
     /// Fault-injection decision sampling (see [`crate::fault`]).
     pub const FAULTS: u64 = 8;
+    /// Chaos-adversary plan sampling and search moves (`lp-chaos`).
+    pub const CHAOS: u64 = 9;
 }
 
 #[cfg(test)]
