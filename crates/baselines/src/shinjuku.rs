@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 
 use lp_hw::{CoreClock, HwCosts, TimeClass};
+use lp_sim::obs::{Event, Observer};
 use lp_sim::rng::{rng, streams};
 use lp_sim::{Ctx, EventId, Model, SimDur, SimTime, Simulation};
 use lp_stats::{Histogram, TimeSeries, WindowStats};
@@ -58,6 +59,14 @@ pub struct ShinjukuConfig {
     pub queue_capacity: usize,
     /// Record time series at this frame width.
     pub series_frame: Option<SimDur>,
+    /// Keep the last N typed trace events (0 disables the ring; see
+    /// `docs/TRACING.md`). The baseline emits the same lifecycle
+    /// vocabulary as the runtime so traces and attribution compare
+    /// apples to apples.
+    pub trace_capacity: usize,
+    /// Tail attribution (see [`RunReport::phases`]); always-on, the
+    /// off switch exists only for overhead measurement.
+    pub attribution: bool,
 }
 
 impl Default for ShinjukuConfig {
@@ -74,6 +83,8 @@ impl Default for ShinjukuConfig {
             seed: 1,
             queue_capacity: 65_536,
             series_frame: None,
+            trace_capacity: 0,
+            attribution: true,
         }
     }
 }
@@ -96,6 +107,13 @@ struct Task {
     arrived: SimTime,
     remaining: SimDur,
     class: u8,
+    /// Stable per-request id for the trace/attribution vocabulary
+    /// (the runtime uses context-pool indices; here requests never
+    /// share storage, so the arrival ordinal serves).
+    fiber: u32,
+    /// `true` once the task has been preempted at least once — the
+    /// next `task_start` is a resume.
+    preempted: bool,
 }
 
 enum WState {
@@ -128,6 +146,9 @@ struct ShinjukuSystem {
     hw_rng: SmallRng,
     assign_pending: bool,
 
+    /// Same cross-layer event/metrics/attribution hub as the runtime.
+    obs: Observer,
+
     arrivals: u64,
     completions: u64,
     dropped: u64,
@@ -148,7 +169,10 @@ impl ShinjukuSystem {
                 clock: CoreClock::new(),
             })
             .collect();
+        let mut obs = Observer::new(cfg.trace_capacity);
+        obs.set_attribution_enabled(cfg.attribution);
         ShinjukuSystem {
+            obs,
             arrivals_gen: ArrivalGen::new(spec.arrivals.clone(), rng(cfg.seed, streams::ARRIVALS)),
             service_rng: rng(cfg.seed, streams::SERVICE),
             hw_rng: rng(cfg.seed, streams::HW_JITTER),
@@ -218,6 +242,23 @@ impl ShinjukuSystem {
         // Handoff: worker observes the assignment (cacheline transfer)
         // and switches onto the request context.
         let start = now + self.cfg.hw.fcontext_switch;
+        self.obs.emit(
+            now,
+            Event::SwitchBegin {
+                worker: worker as u16,
+                fiber: task.fiber,
+                resumed: task.preempted,
+            },
+        );
+        self.obs.emit(
+            start,
+            Event::TaskStart {
+                worker: worker as u16,
+                fiber: task.fiber,
+                resumed: task.preempted,
+                switch_ns: start.since(now).as_nanos().min(u64::from(u32::MAX)) as u32,
+            },
+        );
         self.workers[worker].seq += 1;
         let seq = self.workers[worker].seq;
         let finish_ev = ctx.at(start + task.remaining, Ev::Finish { worker, seq });
@@ -268,13 +309,17 @@ impl Model for ShinjukuSystem {
                         )
                     }
                 };
+                self.obs.emit(now, Event::Arrival { class });
                 if self.queue.len() >= self.cfg.queue_capacity {
                     self.dropped += 1;
+                    self.obs.emit(now, Event::Drop { class });
                 } else {
                     self.queue.push_back(Task {
                         arrived: now,
                         remaining: service,
                         class,
+                        fiber: (self.arrivals - 1).min(u64::from(u32::MAX)) as u32,
+                        preempted: false,
                     });
                     self.kick_dispatcher(ctx);
                 }
@@ -323,6 +368,14 @@ impl Model for ShinjukuSystem {
                     .clock
                     .charge(TimeClass::Work, now.saturating_since(started));
                 self.workers[worker].seq += 1;
+                self.obs.emit(
+                    now,
+                    Event::TaskFinish {
+                        worker: worker as u16,
+                        fiber: task.fiber,
+                        latency_ns: now.since(task.arrived).as_nanos(),
+                    },
+                );
                 self.record_completion(task.arrived, task.class, now);
                 self.kick_dispatcher(ctx);
             }
@@ -342,6 +395,7 @@ impl Model for ShinjukuSystem {
                 let recv = self.cfg.preempt_receiver_cost + self.cfg.hw.fcontext_switch;
                 if self.workers[worker].seq != seq {
                     self.spurious += 1;
+                    self.obs.emit(now, Event::SpuriousPreempt { worker: worker as u16 });
                     self.workers[worker].clock.charge(TimeClass::Preemption, recv);
                     return;
                 }
@@ -365,10 +419,28 @@ impl Model for ShinjukuSystem {
                 w.seq += 1;
                 task.remaining = task.remaining.saturating_sub(executed);
                 if task.remaining.is_zero() {
+                    // The IPI raced completion: treat as completed.
+                    self.obs.emit(
+                        now,
+                        Event::TaskFinish {
+                            worker: worker as u16,
+                            fiber: task.fiber,
+                            latency_ns: now.since(task.arrived).as_nanos(),
+                        },
+                    );
                     self.record_completion(task.arrived, task.class, now);
                 } else {
                     task.remaining += self.cfg.hw.switch_pollution;
                     self.preemptions += 1;
+                    self.obs.emit(
+                        now,
+                        Event::Preempt {
+                            worker: worker as u16,
+                            fiber: task.fiber,
+                            ran_ns: executed.as_nanos(),
+                        },
+                    );
+                    task.preempted = true;
                     // cFCFS: preempted work re-enters at the tail.
                     self.queue.push_back(task);
                 }
@@ -421,7 +493,7 @@ pub fn run_shinjuku(cfg: ShinjukuConfig, spec: WorkloadSpec) -> RunReport {
     let mut sim = Simulation::with_capacity(model, queue_hint);
     sim.schedule_at(SimTime::ZERO, Ev::Arrival);
     sim.run_until(SimTime::ZERO + duration);
-    let m = sim.into_model();
+    let mut m = sim.into_model();
     let per_worker: Vec<CoreClock> = m.workers.iter().map(|w| w.clock.clone()).collect();
     let mut cores = CoreClock::new();
     for w in &per_worker {
@@ -466,8 +538,10 @@ pub fn run_shinjuku(cfg: ShinjukuConfig, spec: WorkloadSpec) -> RunReport {
         quantum_series: None,
         slo_series: None,
         final_quantum: SimDur::ZERO,
-        metrics: Default::default(),
-        events: vec![],
+        metrics: m.obs.snapshot(),
+        events_dropped: m.obs.ring().overwritten(),
+        events: m.obs.take_events(),
+        phases: m.obs.take_phases(),
     }
 }
 
@@ -533,6 +607,45 @@ mod tests {
         let (a, b) = (mk(), mk());
         assert_eq!(a.completions, b.completions);
         assert_eq!(a.latency.p99(), b.latency.p99());
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_end_to_end_latency() {
+        // Same tail-attribution contract as the runtime: the baseline's
+        // event stream must keep every pinned exemplar's phase
+        // breakdown summing exactly to its end-to-end latency.
+        let r = run_shinjuku(
+            ShinjukuConfig {
+                quantum: SimDur::micros(10),
+                ..ShinjukuConfig::default()
+            },
+            spec(10_000.0, 50, ServiceDist::Constant(SimDur::micros(100))),
+        );
+        assert_eq!(r.phases.end_to_end.count(), r.completions);
+        let exemplars = r.phases.exemplars();
+        assert!(!exemplars.is_empty(), "no exemplar pinned");
+        for ex in &exemplars {
+            assert_eq!(
+                ex.phase_sum(),
+                ex.latency_ns,
+                "phase breakdown does not sum to latency: {ex:?}"
+            );
+        }
+        // 100us tasks on a 10us quantum: the worst request visibly
+        // pays switch overhead, and trace capture works when asked.
+        use lp_sim::obs::Phase;
+        let worst = r.worst_exemplar().unwrap();
+        assert!(worst.phase(Phase::PreemptSwitch) > 0, "{worst:?}");
+        let traced = run_shinjuku(
+            ShinjukuConfig {
+                quantum: SimDur::micros(10),
+                trace_capacity: 4096,
+                ..ShinjukuConfig::default()
+            },
+            spec(10_000.0, 50, ServiceDist::Constant(SimDur::micros(100))),
+        );
+        assert!(traced.events.iter().any(|te| te.ev.name() == "task_start"));
+        assert!(traced.perfetto_json().contains("\"ph\":\"X\""));
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! * the healthy-path cost of the admission gate: the same run with
 //!   admission disabled vs. armed with unreachable caps. Same
 //!   identical-results requirement, same < 2% CI gate (see
-//!   `docs/CHAOS.md`).
+//!   `docs/CHAOS.md`);
+//! * the cost of the always-on tail-attribution accountant: the same
+//!   run with the phase accountant off vs. on (the shipped default).
+//!   Scheduling results must be identical — attribution is passive —
+//!   and the wall-clock overhead is gated at < 2% (see
+//!   `docs/TRACING.md`).
 //!
 //! `lp-bench --json` additionally writes `BENCH_results.json` (schema
 //! documented in `docs/PERFORMANCE.md`) for CI artifact upload and
@@ -113,16 +118,17 @@ fn arm_cancel_rearm_per_sec() -> f64 {
 /// One iteration of the fault-overhead workload: preemption-heavy
 /// (every request needs many quanta), UINTR mechanism.
 fn fault_probe_run(faults: FaultPlan) -> RunReport {
-    probe_run(faults, AdmissionConfig::default())
+    probe_run(faults, AdmissionConfig::default(), true)
 }
 
-fn probe_run(faults: FaultPlan, admission: AdmissionConfig) -> RunReport {
+fn probe_run(faults: FaultPlan, admission: AdmissionConfig, attribution: bool) -> RunReport {
     run(
         RuntimeConfig {
             workers: 4,
             control_period: SimDur::millis(10),
             faults,
             admission,
+            attribution,
             ..RuntimeConfig::default()
         },
         Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
@@ -196,10 +202,10 @@ fn admission_overhead() -> (f64, f64, bool) {
     let mut identical = true;
     for it in 0..WARMUP + ITERS {
         let start = Instant::now();
-        let disabled = probe_run(FaultPlan::disabled(), AdmissionConfig::default());
+        let disabled = probe_run(FaultPlan::disabled(), AdmissionConfig::default(), true);
         let disabled_t = start.elapsed().as_secs_f64();
         let start = Instant::now();
-        let armed = probe_run(FaultPlan::disabled(), armed_cfg());
+        let armed = probe_run(FaultPlan::disabled(), armed_cfg(), true);
         let armed_t = start.elapsed().as_secs_f64();
         if it >= WARMUP {
             disabled_secs = disabled_secs.min(disabled_t);
@@ -214,6 +220,46 @@ fn admission_overhead() -> (f64, f64, bool) {
             && armed.metrics.counter("admissions") == 0;
     }
     (disabled_secs, armed_secs, identical)
+}
+
+/// Wall-clock cost of the tail-attribution accountant, which ships
+/// always-on: the same preemption-heavy run with the phase accountant
+/// enabled (the shipped default) vs. disabled (the off switch exists
+/// only for this measurement — see `docs/TRACING.md`). Returns
+/// `(off_secs, on_secs, results_identical)`, minimum over the measured
+/// iterations as in [`fault_overhead`]. The accountant is a passive
+/// observer — no RNG draws, no simulated time — so every scheduling
+/// result must be identical; the wall-clock ratio is the number CI
+/// gates at < 2%.
+fn attribution_overhead() -> (f64, f64, bool) {
+    // Twice the shared iteration budget: this section gates < 2 %, the
+    // tightest bound in the file, so it gets the most chances to hit
+    // the host's noise floor (each iteration is only ~60 ms).
+    let iters = 2 * ITERS;
+    let mut off_secs = f64::INFINITY;
+    let mut on_secs = f64::INFINITY;
+    let mut identical = true;
+    for it in 0..WARMUP + iters {
+        let start = Instant::now();
+        let off = probe_run(FaultPlan::disabled(), AdmissionConfig::default(), false);
+        let off_t = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let on = probe_run(FaultPlan::disabled(), AdmissionConfig::default(), true);
+        let on_t = start.elapsed().as_secs_f64();
+        if it >= WARMUP {
+            off_secs = off_secs.min(off_t);
+            on_secs = on_secs.min(on_t);
+        }
+        identical &= off.arrivals == on.arrivals
+            && off.completions == on.completions
+            && off.preemptions == on.preemptions
+            && off.latency.p99() == on.latency.p99()
+            && off.metrics.counters == on.metrics.counters
+            && off.phases.end_to_end.is_empty()
+            && on.phases.end_to_end.count() == on.completions
+            && on.worst_exemplar().is_some_and(|e| e.phase_sum() == e.latency_ns);
+    }
+    (off_secs, on_secs, identical)
 }
 
 /// Runs the quick-scale artifact list once, returning the outputs and
@@ -260,6 +306,10 @@ fn main() {
     let (adm_disabled_secs, adm_armed_secs, adm_identical) = admission_overhead();
     let adm_overhead_pct = (adm_armed_secs / adm_disabled_secs - 1.0) * 100.0;
 
+    eprintln!("lp-bench: attribution overhead (off vs always-on) ...");
+    let (attr_off_secs, attr_on_secs, attr_identical) = attribution_overhead();
+    let attr_overhead_pct = (attr_on_secs / attr_off_secs - 1.0) * 100.0;
+
     let jobs = runner::jobs();
     eprintln!("lp-bench: quick-scale all, serial ...");
     let (serial_out, serial_secs) = timed_all(1);
@@ -291,6 +341,13 @@ fn main() {
         "admission.results:      {}",
         if adm_identical { "identical" } else { "DIFFER" }
     );
+    println!("attribution.off:        {attr_off_secs:>12.3} s");
+    println!("attribution.on:         {attr_on_secs:>12.3} s");
+    println!("attribution.overhead:   {attr_overhead_pct:>12.2} %");
+    println!(
+        "attribution.results:    {}",
+        if attr_identical { "identical" } else { "DIFFER" }
+    );
     println!("all(quick).serial:      {serial_secs:>12.2} s");
     println!("all(quick).parallel:    {par_secs:>12.2} s  (LP_JOBS={jobs})");
     println!("all(quick).speedup:     {speedup:>12.2} x");
@@ -307,7 +364,7 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"schema\": \"lp-bench/3\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"admission_overhead\": {{\n    \"disabled_secs\": {adm_disabled_secs:.3},\n    \"armed_secs\": {adm_armed_secs:.3},\n    \"overhead_pct\": {adm_overhead_pct:.3},\n    \"results_identical\": {adm_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical},\n    \"parallel8_secs\": {par8_secs:.3},\n    \"speedup8\": {speedup8:.3},\n    \"outputs8_identical\": {identical8}\n  }}\n}}\n"
+            "{{\n  \"schema\": \"lp-bench/4\",\n  \"engine\": {{\n    \"push_pop_events_per_sec\": {push_pop:.0},\n    \"arm_cancel_rearm_per_sec\": {rearm:.0}\n  }},\n  \"fault_overhead\": {{\n    \"healthy_secs\": {fault_healthy_secs:.3},\n    \"armed_secs\": {fault_armed_secs:.3},\n    \"overhead_pct\": {fault_overhead_pct:.3},\n    \"results_identical\": {fault_identical}\n  }},\n  \"admission_overhead\": {{\n    \"disabled_secs\": {adm_disabled_secs:.3},\n    \"armed_secs\": {adm_armed_secs:.3},\n    \"overhead_pct\": {adm_overhead_pct:.3},\n    \"results_identical\": {adm_identical}\n  }},\n  \"attribution_overhead\": {{\n    \"off_secs\": {attr_off_secs:.3},\n    \"on_secs\": {attr_on_secs:.3},\n    \"overhead_pct\": {attr_overhead_pct:.3},\n    \"results_identical\": {attr_identical}\n  }},\n  \"all_quick\": {{\n    \"jobs\": {jobs},\n    \"serial_secs\": {serial_secs:.3},\n    \"parallel_secs\": {par_secs:.3},\n    \"speedup\": {speedup:.3},\n    \"outputs_identical\": {identical},\n    \"parallel8_secs\": {par8_secs:.3},\n    \"speedup8\": {speedup8:.3},\n    \"outputs8_identical\": {identical8}\n  }}\n}}\n"
         );
         std::fs::write("BENCH_results.json", body).expect("write BENCH_results.json");
         eprintln!("lp-bench: wrote BENCH_results.json");
@@ -323,6 +380,10 @@ fn main() {
     }
     if !adm_identical {
         eprintln!("lp-bench: armed-but-idle admission gate changed results — gate is not a no-op");
+        std::process::exit(1);
+    }
+    if !attr_identical {
+        eprintln!("lp-bench: the phase accountant changed scheduling results — attribution is not passive");
         std::process::exit(1);
     }
 }

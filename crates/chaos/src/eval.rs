@@ -11,6 +11,7 @@ use libpreemptible::policy::FcfsPreempt;
 use libpreemptible::runtime::{
     run, AdmissionConfig, PreemptMech, RuntimeConfig, ServiceSource, WorkloadSpec,
 };
+use libpreemptible::RunReport;
 use lp_sim::SimDur;
 use lp_workload::{PhasedService, ServiceDist};
 
@@ -111,10 +112,19 @@ pub fn runtime_config(plan: &ChaosPlan, cfg: &EvalConfig, hardened: bool) -> Run
     }
 }
 
-/// Runs `plan` once and scores it. `hardened` arms admission control;
-/// everything else is identical between the two variants, so the pair
-/// isolates exactly what the hardening buys.
-pub fn evaluate(plan: &ChaosPlan, cfg: &EvalConfig, hardened: bool) -> EvalOutcome {
+/// Runs `plan` once and returns the full [`RunReport`] — the
+/// attribution- and trace-bearing superset of [`evaluate`]. The
+/// scheduling decisions are identical to [`evaluate`]'s (tracing and
+/// the phase accountant are passive observers), so a report-backed
+/// sweep like the figA decomposition sees exactly the runs the corpus
+/// pinned. `trace_capacity > 0` additionally captures the last that
+/// many typed events for Perfetto export.
+pub fn evaluate_report(
+    plan: &ChaosPlan,
+    cfg: &EvalConfig,
+    hardened: bool,
+    trace_capacity: usize,
+) -> RunReport {
     let lowered = lower(plan, cfg.base_rps, cfg.horizon_us);
     let spec = WorkloadSpec {
         source: ServiceSource::Phased(PhasedService::constant(ServiceDist::Constant(
@@ -124,11 +134,18 @@ pub fn evaluate(plan: &ChaosPlan, cfg: &EvalConfig, hardened: bool) -> EvalOutco
         duration: SimDur::micros(cfg.horizon_us),
         warmup: SimDur::ZERO,
     };
-    let r = run(
-        runtime_config(plan, cfg, hardened),
+    run(
+        RuntimeConfig { trace_capacity, ..runtime_config(plan, cfg, hardened) },
         Box::new(FcfsPreempt::fixed(SimDur::micros(cfg.quantum_us))),
         spec,
-    );
+    )
+}
+
+/// Runs `plan` once and scores it. `hardened` arms admission control;
+/// everything else is identical between the two variants, so the pair
+/// isolates exactly what the hardening buys.
+pub fn evaluate(plan: &ChaosPlan, cfg: &EvalConfig, hardened: bool) -> EvalOutcome {
+    let r = evaluate_report(plan, cfg, hardened, 0);
     let slo_ns = cfg.slo_us * 1_000;
     let missed_completed = r.latency.count() - r.latency.count_at_or_below(slo_ns);
     EvalOutcome {

@@ -36,7 +36,7 @@ pub mod plan;
 pub mod search;
 
 pub use corpus::CorpusEntry;
-pub use eval::{evaluate, runtime_config, EvalConfig, EvalOutcome};
+pub use eval::{evaluate, evaluate_report, runtime_config, EvalConfig, EvalOutcome};
 pub use lower::{lower, LoweredPlan};
 pub use plan::{ChaosAtom, ChaosPlan};
 pub use search::{search, minimize, SearchBudget};

@@ -17,8 +17,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{
-    hot_alloc_allowance, nondet_file_allowance, relaxed_file_allowance, RuleId, CHAOS_RNG_DIR,
-    CHAOS_RNG_TOKENS, EVENT_VOCAB_FILE, FAULT_RNG_FILE, FAULT_RNG_TOKENS, HOT_ALLOC_FILES,
+    hot_alloc_allowance, nondet_file_allowance, relaxed_file_allowance, RuleId, ATTRIBUTION_EVENTS,
+    CHAOS_RNG_DIR, CHAOS_RNG_TOKENS, EVENT_VOCAB_FILE, FAULT_RNG_FILE, FAULT_RNG_TOKENS,
+    HOT_ALLOC_FILES,
     HOT_ALLOC_TOKENS, NONDET_EXEMPT_CRATES, NONDET_TOKENS, OBS_PAIRED_CRATES, POLICY_DIR,
     POLICY_PURITY_TOKENS, RETRY_STATE_CRATE, RETRY_STATE_FIELDS, RETRY_STATE_FILE,
     UNSAFE_ALLOWED_CRATE, WORKERLESS_EVENTS,
@@ -755,9 +756,12 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
 
     // Pass 2: the event vocabulary file — every variant carries a
     // `worker` (or `slot`) identity unless it is a declared global
-    // event, so the happens-before engine can place it on an actor.
+    // event, so the happens-before engine can place it on an actor;
+    // and the attribution-driving span events additionally carry a
+    // `fiber` identity and a documented wire name, so the phase
+    // accountant can charge time to the right request.
     if rel == EVENT_VOCAB_FILE {
-        for (variant, line, has_id) in event_enum_variants(&stripped.code) {
+        for (variant, line, has_id, has_fiber) in event_enum_variants(&stripped.code) {
             if !has_id && !WORKERLESS_EVENTS.contains(&variant.as_str()) {
                 push(
                     RuleId::WorkerId,
@@ -769,6 +773,34 @@ fn lint_file(rel: &str, source: &str, vocab: &BTreeSet<String>, report: &mut Lin
                     ),
                     false,
                 );
+            }
+            if ATTRIBUTION_EVENTS.contains(&variant.as_str()) {
+                if !has_id || !has_fiber {
+                    push(
+                        RuleId::WorkerId,
+                        line,
+                        format!(
+                            "`Event::{variant}` drives the phase accountant but lacks \
+                             a `worker` and `fiber` identity — exemplar breakdowns \
+                             would charge time to the wrong request (see \
+                             rules::ATTRIBUTION_EVENTS)"
+                        ),
+                        false,
+                    );
+                }
+                let snake = camel_to_snake(&variant);
+                if !vocab.contains(&snake) {
+                    push(
+                        RuleId::ObsPair,
+                        line,
+                        format!(
+                            "attribution event `Event::{variant}` (wire name `{snake}`) \
+                             is not in the docs/TRACING.md vocabulary — the phase \
+                             semantics must be documented where the phases are"
+                        ),
+                        false,
+                    );
+                }
             }
         }
     }
@@ -826,7 +858,7 @@ fn raw_retry_field_write(code: &str, field: &str) -> bool {
 /// The variants of `pub enum Event` in the vocabulary file: `(name,
 /// 1-based line, carries a worker/slot field)`. Brace-depth scan over
 /// stripped code — variants open at depth 1, their fields sit below.
-fn event_enum_variants(code_lines: &[String]) -> Vec<(String, usize, bool)> {
+fn event_enum_variants(code_lines: &[String]) -> Vec<(String, usize, bool, bool)> {
     let start = code_lines.iter().position(|code| {
         code.find("pub enum Event").is_some_and(|pos| {
             code[pos + "pub enum Event".len()..]
@@ -836,17 +868,20 @@ fn event_enum_variants(code_lines: &[String]) -> Vec<(String, usize, bool)> {
         })
     });
     let Some(start) = start else { return Vec::new() };
-    let mut out: Vec<(String, usize, bool)> = Vec::new();
+    let mut out: Vec<(String, usize, bool, bool)> = Vec::new();
     let mut depth = 0i32;
     for (idx, code) in code_lines.iter().enumerate().skip(start) {
         let trimmed = code.trim();
         if depth == 1 && trimmed.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
             let name: String = trimmed.chars().take_while(|&c| is_ident(c)).collect();
-            out.push((name, idx + 1, false));
+            out.push((name, idx + 1, false, false));
         }
         if let Some(last) = out.last_mut() {
             if depth >= 1 && (contains_token(code, "worker") || contains_token(code, "slot")) {
                 last.2 = true;
+            }
+            if depth >= 1 && contains_token(code, "fiber") {
+                last.3 = true;
             }
         }
         for c in code.chars() {
@@ -1339,9 +1374,9 @@ pub enum Event {
         let stripped = strip(enum_src);
         let vs = event_enum_variants(&stripped.code);
         assert_eq!(vs.len(), 4);
-        assert_eq!(vs[0], ("UipiSent".to_string(), 2, true));
+        assert_eq!(vs[0], ("UipiSent".to_string(), 2, true, false));
         assert_eq!(vs[1].2, true, "slot counts as an identity");
-        assert_eq!(vs[3], ("Rogue".to_string(), 5, false));
+        assert_eq!(vs[3], ("Rogue".to_string(), 5, false, false));
         // The rule: only the undeclared worker-less variant fires, and
         // only in the vocabulary file.
         let mut r = LintReport::default();

@@ -198,6 +198,7 @@ fn event_worker(ev: &Event) -> Option<u16> {
         | Event::KtimerArmed { worker, .. }
         | Event::KtimerFired { worker }
         | Event::TaskStart { worker, .. }
+        | Event::SwitchBegin { worker, .. }
         | Event::TaskFinish { worker, .. }
         | Event::Preempt { worker, .. }
         | Event::SpuriousPreempt { worker }
@@ -236,6 +237,7 @@ fn actor_of(ev: &Event) -> Actor {
         | Event::DeadlineArmed { slot: worker, .. }
         | Event::DeadlineDisarmed { slot: worker }
         | Event::TaskStart { worker, .. }
+        | Event::SwitchBegin { worker, .. }
         | Event::TaskFinish { worker, .. }
         | Event::Preempt { worker, .. }
         | Event::SpuriousPreempt { worker }
@@ -837,7 +839,7 @@ mod tests {
         for i in 0..20 {
             trace.push(te(
                 1_000_000 + i * 1_000_000,
-                Event::TaskStart { worker: 0, fiber: 100 + i as u32, resumed: false },
+                Event::TaskStart { worker: 0, fiber: 100 + i as u32, resumed: false, switch_ns: 0 },
             ));
         }
         let r = analyze_events(&trace);
@@ -857,12 +859,12 @@ mod tests {
         for i in 0..20 {
             trace.push(te(
                 1_000_000 + i * 1_000_000,
-                Event::TaskStart { worker: 0, fiber: 100 + i as u32, resumed: false },
+                Event::TaskStart { worker: 0, fiber: 100 + i as u32, resumed: false, switch_ns: 0 },
             ));
         }
         trace.push(te(
             30_000_000,
-            Event::TaskStart { worker: 0, fiber: 7, resumed: true },
+            Event::TaskStart { worker: 0, fiber: 7, resumed: true, switch_ns: 0 },
         ));
         let r = analyze_events(&trace);
         assert!(r.is_clean(), "{}", r.human());

@@ -313,6 +313,20 @@ pub const WORKERLESS_EVENTS: [&str; 8] = [
     "TimerPoll",
 ];
 
+/// `Event` variants the tail-attribution accountant keys on
+/// ([`RuleId::WorkerId`], strengthened): the phase accountant keys
+/// its per-worker segments on these events, so each must carry *both*
+/// a `worker` and a `fiber` identity — and must appear in the
+/// `docs/TRACING.md` vocabulary — or exemplar breakdowns would charge
+/// time to the wrong request. `SwitchBegin` is listed even though the
+/// accountant itself reads the switch window off `TaskStart`'s
+/// `switch_ns` field: the Perfetto exporter pairs it with the
+/// following `task_start` to render the switch slice, which needs the
+/// same identities. Extend this list together with
+/// `Attribution::observe` when new phase-driving spans are added.
+pub const ATTRIBUTION_EVENTS: [&str; 4] =
+    ["TaskStart", "TaskFinish", "Preempt", "SwitchBegin"];
+
 /// The files [`RuleId::HotAlloc`] polices: the event engine's hot
 /// core — the hierarchical timing wheel and its `EventQueue` facade.
 /// Everything on the pop/arm/cancel/cascade path lives in these two

@@ -1,0 +1,16 @@
+//! Regenerates Fig. A (extension: per-phase decomposition of where the
+//! worst request's time went, vs load, healthy vs the pinned chaos
+//! cliffs). Reads `results/chaos_corpus.json` when present; without it
+//! the sweep covers the healthy baseline alone.
+use lp_experiments::{common::Scale, figa};
+fn main() {
+    let scale = Scale::from_env(Scale::Full);
+    let corpus = std::fs::read_to_string("results/chaos_corpus.json").ok();
+    if corpus.is_none() {
+        eprintln!("figa: no results/chaos_corpus.json — healthy baseline only");
+    }
+    let scenarios = figa::scenarios(corpus.as_deref());
+    let rows = figa::run_figa(scale, &scenarios);
+    println!("{}", figa::table(&rows).render());
+    lp_experiments::common::save_csv("figA.csv", &figa::table(&rows).to_csv());
+}

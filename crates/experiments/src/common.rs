@@ -349,6 +349,8 @@ mod tests {
                 final_quantum: SimDur::ZERO,
                 metrics: Default::default(),
                 events: vec![],
+                events_dropped: 0,
+                phases: Default::default(),
             }
         });
         // rate = 70k is not strictly above the knee, so 0.7 is the last

@@ -31,6 +31,7 @@ pub mod fig14;
 pub mod fig2;
 pub mod fig8;
 pub mod fig9;
+pub mod figa;
 pub mod figr;
 pub mod figw;
 pub mod runner;

@@ -1,7 +1,7 @@
 //! Run reports: everything an experiment reads off a finished run.
 
 use lp_hw::{CoreClock, TimeClass};
-use lp_sim::obs::{MetricsSnapshot, TimedEvent};
+use lp_sim::obs::{Exemplar, MetricsSnapshot, PhaseStats, TimedEvent};
 use lp_sim::{SimDur, SimTime};
 use lp_stats::{Histogram, TimeSeries};
 
@@ -62,6 +62,17 @@ pub struct RunReport {
     ///
     /// [`RuntimeConfig::trace_capacity`]: crate::RuntimeConfig::trace_capacity
     pub events: Vec<TimedEvent>,
+    /// Events evicted from the circular trace window before the run
+    /// ended: [`events`](Self::events) is a sliding window of the most
+    /// recent `trace_capacity` events, and this counts what the wrap
+    /// silently overwrote (0 when the window never filled, or when
+    /// tracing was disabled and nothing was ever enqueued).
+    pub events_dropped: u64,
+    /// Tail attribution: always-on per-phase and end-to-end latency
+    /// histograms plus the pinned worst-request exemplars, each with a
+    /// phase breakdown summing exactly to its end-to-end latency (see
+    /// `docs/TRACING.md`).
+    pub phases: PhaseStats,
 }
 
 impl RunReport {
@@ -126,6 +137,14 @@ impl RunReport {
     /// The captured trace as JSONL, one event per line, oldest first
     /// (see `docs/TRACING.md` for the schema). Byte-deterministic for
     /// identical seeds and configurations.
+    ///
+    /// Window semantics: the trace ring keeps only the most recent
+    /// `trace_capacity` events, so under a small capacity this is the
+    /// *tail* of the run, not the whole run —
+    /// [`events_dropped`](Self::events_dropped) counts how many
+    /// earlier events the wrap evicted. Size the capacity to the run
+    /// (or check `events_dropped == 0`) before treating the JSONL as
+    /// complete.
     pub fn events_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 64);
         for te in &self.events {
@@ -133,6 +152,22 @@ impl RunReport {
             out.push('\n');
         }
         out
+    }
+
+    /// The captured trace as a Perfetto / Chrome `trace_event` JSON
+    /// document (open it in `chrome://tracing` or ui.perfetto.dev):
+    /// one track per worker, fiber slices reconstructed from
+    /// `task_start` → `preempt`/`task_finish` span pairs. Byte-stable
+    /// for identical event windows; subject to the same sliding-window
+    /// semantics as [`events_jsonl`](Self::events_jsonl).
+    pub fn perfetto_json(&self) -> String {
+        lp_sim::obs::chrome_trace(&self.events)
+    }
+
+    /// The worst pinned request, if any completed — the run's top
+    /// exemplar, whose phase breakdown sums to its latency.
+    pub fn worst_exemplar(&self) -> Option<Exemplar> {
+        self.phases.worst()
     }
 
     /// Worker utilization (work only) over the run.
@@ -184,6 +219,8 @@ mod tests {
             final_quantum: SimDur::micros(30),
             metrics: MetricsSnapshot::default(),
             events: vec![],
+            events_dropped: 0,
+            phases: PhaseStats::default(),
         }
     }
 

@@ -179,6 +179,12 @@ pub struct RuntimeConfig {
     /// counters in [`RunReport::metrics`](crate::RunReport) are always
     /// collected.
     pub trace_capacity: usize,
+    /// Tail attribution (per-phase latency accounting, always-on
+    /// histograms, and p99 exemplars in
+    /// [`RunReport::phases`](crate::RunReport::phases)). Ships enabled;
+    /// the off switch exists only so `lp-bench` can measure the
+    /// accountant's overhead (see `docs/TRACING.md`).
+    pub attribution: bool,
     /// Fault-injection plan (see `lp_sim::fault` and `docs/FAULTS.md`).
     /// The default plan is disabled, in which case no injector is
     /// built, no watchdog events are scheduled, and the run is
@@ -210,6 +216,7 @@ impl Default for RuntimeConfig {
             series_frame: None,
             slo: None,
             trace_capacity: 0,
+            attribution: true,
             faults: FaultPlan::disabled(),
             watchdog: WatchdogConfig::default(),
             admission: AdmissionConfig::default(),
@@ -429,6 +436,8 @@ impl LibPreemptibleSystem {
             .collect();
         let series = |frame: Option<SimDur>| frame.map(|f| TimeSeries::new(f.as_nanos()));
         let armed_for = vec![None; cfg.workers];
+        let mut obs = Observer::new(cfg.trace_capacity);
+        obs.set_attribution_enabled(cfg.attribution);
         LibPreemptibleSystem {
             arrivals_gen: ArrivalGen::new(spec.arrivals.clone(), rng(cfg.seed, streams::ARRIVALS)),
             service_rng: rng(cfg.seed, streams::SERVICE),
@@ -451,7 +460,7 @@ impl LibPreemptibleSystem {
             dispatch_queue: VecDeque::new(),
             dispatcher_clock: CoreClock::new(),
             rr_cursor: 0,
-            obs: Observer::new(cfg.trace_capacity),
+            obs,
             arrivals: 0,
             completions: 0,
             dropped: 0,
@@ -676,6 +685,19 @@ impl LibPreemptibleSystem {
         self.workers[worker]
             .clock
             .charge_observed(TimeClass::Dispatch, pick + switch, &mut self.obs);
+        // The switch toward this fiber begins now; `TaskStart` (stamped
+        // at the actual start instant) closes the window and carries
+        // its duration, so the phase accountant charges pick +
+        // fcontext-switch (+ arming) to `preempt_switch` from that one
+        // event.
+        self.obs.emit(
+            now,
+            Event::SwitchBegin {
+                worker: worker as u16,
+                fiber: id.index() as u32,
+                resumed,
+            },
+        );
         let mut start = now + pick + switch;
 
         self.workers[worker].seq += 1;
@@ -744,6 +766,7 @@ impl LibPreemptibleSystem {
                 worker: worker as u16,
                 fiber: id.index() as u32,
                 resumed,
+                switch_ns: start.since(now).as_nanos().min(u64::from(u32::MAX)) as u32,
             },
         );
     }
@@ -1651,7 +1674,9 @@ pub fn run(cfg: RuntimeConfig, policy: Box<dyn SchedPolicy>, spec: WorkloadSpec)
         slo_series: m.slo_series,
         final_quantum: m.policy.quantum_hint(0),
         metrics: m.obs.snapshot(),
+        events_dropped: m.obs.ring().overwritten(),
         events: m.obs.take_events(),
+        phases: m.obs.take_phases(),
     }
 }
 
@@ -1916,6 +1941,82 @@ mod tests {
         assert_eq!(r.metrics.counter("mech_degradations"), 1);
         assert_eq!(r.metrics.counter("mech_recoveries"), 1, "probe must recover");
         assert!(r.preemptions > 100);
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_end_to_end_latency() {
+        // The tail-attribution contract: every pinned exemplar's phase
+        // breakdown sums *exactly* to its end-to-end latency (queued
+        // time is the residual, so the identity holds by construction
+        // — this pins that the construction survives the runtime's
+        // actual event stream), and the end-to-end histogram sees
+        // every completion.
+        let r = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec(300_000.0, 50),
+        );
+        assert_eq!(r.phases.end_to_end.count(), r.completions);
+        let exemplars = r.phases.exemplars();
+        assert!(!exemplars.is_empty(), "no exemplar pinned");
+        for ex in &exemplars {
+            assert_eq!(
+                ex.phase_sum(),
+                ex.latency_ns,
+                "phase breakdown does not sum to latency: {ex:?}"
+            );
+        }
+        let worst = r.worst_exemplar().unwrap();
+        assert_eq!(worst.latency_ns, exemplars[0].latency_ns);
+        // Preempted tails spend visible time in the switch phase.
+        use lp_sim::obs::Phase;
+        assert!(
+            !r.phases.per_phase[Phase::PreemptSwitch as usize].is_empty(),
+            "no preempt_switch time attributed"
+        );
+    }
+
+    #[test]
+    fn attribution_off_switch_changes_no_results() {
+        // `attribution: false` exists only for lp-bench's overhead
+        // A/B; it must not perturb the simulation itself.
+        let mk = |attribution: bool| {
+            run(
+                RuntimeConfig { attribution, ..small_cfg(PreemptMech::Uintr) },
+                Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+                spec(300_000.0, 50),
+            )
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert_eq!(on.latency.p99(), off.latency.p99());
+        assert_eq!(on.metrics.counters, off.metrics.counters);
+        assert!(off.phases.end_to_end.is_empty());
+        assert!(off.worst_exemplar().is_none());
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_not_silent() {
+        // A window far smaller than the run: the report must surface
+        // how much the wrap evicted instead of pretending the tail is
+        // the whole trace.
+        let r = run(
+            RuntimeConfig {
+                trace_capacity: 64,
+                ..small_cfg(PreemptMech::Uintr)
+            },
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec(300_000.0, 50),
+        );
+        assert_eq!(r.events.len(), 64);
+        assert!(r.events_dropped > 0, "wrap evicted nothing?");
+        // Untraced and generously-traced runs report zero drops.
+        let untraced = run(
+            small_cfg(PreemptMech::Uintr),
+            Box::new(FcfsPreempt::fixed(SimDur::micros(10))),
+            spec(300_000.0, 50),
+        );
+        assert_eq!(untraced.events_dropped, 0);
     }
 
     #[test]

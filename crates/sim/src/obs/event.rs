@@ -123,6 +123,12 @@ pub enum Event {
         fiber: u32,
         /// `true` when resuming a previously preempted function.
         resumed: bool,
+        /// Nanoseconds spent in the context-switch window that ended
+        /// here (dispatch pick + fcontext switch + arming) — the span
+        /// since the matching [`Event::SwitchBegin`]. Carried on the
+        /// event so the tail-attribution accountant charges
+        /// `preempt_switch` from this event alone.
+        switch_ns: u32,
     },
     /// A request ran to completion.
     TaskFinish {
@@ -169,6 +175,20 @@ pub enum Event {
         fiber: u32,
         /// Granted slice length.
         slice_ns: u64,
+    },
+    /// A worker began a context switch toward a fiber: the dispatch
+    /// pick plus fcontext-switch window that ends at the matching
+    /// [`Event::TaskStart`] (which carries the window's duration as
+    /// `switch_ns`, charged to the fiber's `preempt_switch` phase —
+    /// see `docs/TRACING.md`). Trace exports render this window as a
+    /// switch slice.
+    SwitchBegin {
+        /// Worker doing the switch.
+        worker: u16,
+        /// Context-pool index of the incoming fiber.
+        fiber: u32,
+        /// `true` when resuming a previously preempted function.
+        resumed: bool,
     },
     /// Algorithm 1 changed the global time quantum.
     QuantumAdjusted {
@@ -300,6 +320,7 @@ impl Event {
             Event::SpuriousPreempt { .. } => "spurious_preempt",
             Event::PolicyDispatch { .. } => "policy_dispatch",
             Event::SliceGranted { .. } => "slice_granted",
+            Event::SwitchBegin { .. } => "switch_begin",
             Event::QuantumAdjusted { .. } => "quantum_adjusted",
             Event::Marker { .. } => "marker",
             Event::FaultInjected { .. } => "fault_injected",
@@ -356,9 +377,9 @@ impl fmt::Display for Event {
             }
             Event::Arrival { class } => write!(f, "arrival (class {class})"),
             Event::Drop { class } => write!(f, "drop (class {class}, pool full)"),
-            Event::TaskStart { worker, fiber, resumed } => {
+            Event::TaskStart { worker, fiber, resumed, switch_ns } => {
                 let verb = if resumed { "resume" } else { "start" };
-                write!(f, "{verb} fiber {fiber} on worker {worker}")
+                write!(f, "{verb} fiber {fiber} on worker {worker} (switch {switch_ns}ns)")
             }
             Event::TaskFinish { worker, fiber, latency_ns } => {
                 write!(f, "finish fiber {fiber} on worker {worker} (latency {latency_ns}ns)")
@@ -375,6 +396,10 @@ impl fmt::Display for Event {
             }
             Event::SliceGranted { worker, fiber, slice_ns } => {
                 write!(f, "slice {slice_ns}ns granted to fiber {fiber} on worker {worker}")
+            }
+            Event::SwitchBegin { worker, fiber, resumed } => {
+                let verb = if resumed { "resume" } else { "launch" };
+                write!(f, "switch toward fiber {fiber} on worker {worker} ({verb})")
             }
             Event::QuantumAdjusted { old_ns, new_ns } => {
                 write!(f, "quantum {old_ns}ns -> {new_ns}ns")
@@ -475,8 +500,11 @@ impl TimedEvent {
             Event::Arrival { class } | Event::Drop { class } => {
                 let _ = write!(out, ",\"class\":{class}");
             }
-            Event::TaskStart { worker, fiber, resumed } => {
-                let _ = write!(out, ",\"worker\":{worker},\"fiber\":{fiber},\"resumed\":{resumed}");
+            Event::TaskStart { worker, fiber, resumed, switch_ns } => {
+                let _ = write!(
+                    out,
+                    ",\"worker\":{worker},\"fiber\":{fiber},\"resumed\":{resumed},\"switch_ns\":{switch_ns}"
+                );
             }
             Event::TaskFinish { worker, fiber, latency_ns } => {
                 let _ = write!(
@@ -492,6 +520,9 @@ impl TimedEvent {
             }
             Event::SliceGranted { worker, fiber, slice_ns } => {
                 let _ = write!(out, ",\"worker\":{worker},\"fiber\":{fiber},\"slice_ns\":{slice_ns}");
+            }
+            Event::SwitchBegin { worker, fiber, resumed } => {
+                let _ = write!(out, ",\"worker\":{worker},\"fiber\":{fiber},\"resumed\":{resumed}");
             }
             Event::QuantumAdjusted { old_ns, new_ns } => {
                 let _ = write!(out, ",\"old_ns\":{old_ns},\"new_ns\":{new_ns}");
@@ -592,6 +623,7 @@ impl TimedEvent {
                 worker: field_u64(line, "worker")? as u16,
                 fiber: field_u64(line, "fiber")? as u32,
                 resumed: field_bool(line, "resumed")?,
+                switch_ns: field_u64(line, "switch_ns")? as u32,
             },
             "task_finish" => Event::TaskFinish {
                 worker: field_u64(line, "worker")? as u16,
@@ -614,6 +646,11 @@ impl TimedEvent {
                 worker: field_u64(line, "worker")? as u16,
                 fiber: field_u64(line, "fiber")? as u32,
                 slice_ns: field_u64(line, "slice_ns")?,
+            },
+            "switch_begin" => Event::SwitchBegin {
+                worker: field_u64(line, "worker")? as u16,
+                fiber: field_u64(line, "fiber")? as u32,
+                resumed: field_bool(line, "resumed")?,
             },
             "quantum_adjusted" => Event::QuantumAdjusted {
                 old_ns: field_u64(line, "old_ns")?,
@@ -722,12 +759,13 @@ mod tests {
             Event::TimerPoll { expired: 2 },
             Event::Arrival { class: 0 },
             Event::Drop { class: 1 },
-            Event::TaskStart { worker: 0, fiber: 12, resumed: false },
+            Event::TaskStart { worker: 0, fiber: 12, resumed: false, switch_ns: 650 },
             Event::TaskFinish { worker: 0, fiber: 12, latency_ns: 88_000 },
             Event::Preempt { worker: 0, fiber: 12, ran_ns: 10_000 },
             Event::SpuriousPreempt { worker: 6 },
             Event::PolicyDispatch { worker: 3, explicit: true },
             Event::SliceGranted { worker: 3, fiber: 12, slice_ns: 10_000 },
+            Event::SwitchBegin { worker: 3, fiber: 12, resumed: true },
             Event::QuantumAdjusted { old_ns: 30_000, new_ns: 25_000 },
             Event::Marker { code: 42 },
             Event::FaultInjected { worker: 1, kind: 0 },

@@ -53,11 +53,12 @@ pub enum Counter {
     MechBrownouts,
     Sheds,
     Admissions,
+    FiberSwitches,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 40] = [
         Counter::UipiSent,
         Counter::UipiDelivered,
         Counter::UipiCoalesced,
@@ -99,6 +100,7 @@ impl Counter {
         Counter::MechBrownouts,
         Counter::Sheds,
         Counter::Admissions,
+        Counter::FiberSwitches,
     ];
 
     /// Stable snake_case name (the JSONL/snapshot key).
@@ -143,6 +145,7 @@ impl Counter {
             Counter::MechBrownouts => "mech_brownouts",
             Counter::Sheds => "sheds",
             Counter::Admissions => "admissions",
+            Counter::FiberSwitches => "fiber_switches",
         }
     }
 }
@@ -274,6 +277,7 @@ impl Metrics {
             Event::MechBrownout { .. } => self.bump(Counter::MechBrownouts),
             Event::Shed { .. } => self.bump(Counter::Sheds),
             Event::Admitted { .. } => self.bump(Counter::Admissions),
+            Event::SwitchBegin { .. } => self.bump(Counter::FiberSwitches),
         }
     }
 
@@ -349,8 +353,8 @@ mod tests {
         m.account(&Event::UipiDelivered { worker: 0, coalesced: true });
         m.account(&Event::UipiDelivered { worker: 0, coalesced: false });
         m.account(&Event::TimerPoll { expired: 3 });
-        m.account(&Event::TaskStart { worker: 0, fiber: 1, resumed: true });
-        m.account(&Event::TaskStart { worker: 0, fiber: 2, resumed: false });
+        m.account(&Event::TaskStart { worker: 0, fiber: 1, resumed: true, switch_ns: 0 });
+        m.account(&Event::TaskStart { worker: 0, fiber: 2, resumed: false, switch_ns: 0 });
         m.account(&Event::QuantumAdjusted { old_ns: 30_000, new_ns: 25_000 });
         assert_eq!(m.get(Counter::UipiDelivered), 2);
         assert_eq!(m.get(Counter::UipiCoalesced), 1);

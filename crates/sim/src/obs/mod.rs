@@ -33,32 +33,42 @@
 //! assert_eq!(obs.to_jsonl().lines().count(), 2);
 //! ```
 
+mod attr;
 mod event;
 mod metrics;
+pub mod perfetto;
 mod ring;
 
+pub use attr::{
+    Attribution, Exemplar, Phase, PhaseHistogram, PhaseStats, EXEMPLAR_SLOTS, PHASE_HIST_BUCKETS,
+};
 pub use event::{Event, TimedEvent};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot};
+pub use perfetto::chrome_trace;
 pub use ring::EventRing;
 
 use crate::time::SimTime;
 use crate::trace::TraceRing;
 
-/// The per-run observability hub: a typed event ring plus the always-on
-/// metrics registry, fed through one [`emit`](Observer::emit) call.
+/// The per-run observability hub: a typed event ring, the always-on
+/// metrics registry, and the tail-attribution accountant, all fed
+/// through one [`emit`](Observer::emit) call.
 #[derive(Debug, Clone)]
 pub struct Observer {
     ring: EventRing,
     metrics: Metrics,
+    attr: Attribution,
 }
 
 impl Observer {
     /// An observer keeping the last `ring_capacity` events. Capacity 0
-    /// disables the ring; the counters stay on regardless.
+    /// disables the ring; the counters and the phase accountant stay
+    /// on regardless.
     pub fn new(ring_capacity: usize) -> Self {
         Observer {
             ring: EventRing::new(ring_capacity),
             metrics: Metrics::new(),
+            attr: Attribution::new(),
         }
     }
 
@@ -67,12 +77,33 @@ impl Observer {
         Observer::new(0)
     }
 
-    /// Records one event: bumps the mapped counters, then appends to
-    /// the ring. No heap allocation either way.
-    #[inline]
+    /// Records one event: bumps the mapped counters, advances the
+    /// phase accountant, then appends to the ring. No heap allocation
+    /// either way (the accountant's flat state grows once to the
+    /// pool/worker high-water marks).
+    #[inline(always)]
     pub fn emit(&mut self, at: SimTime, ev: Event) {
         self.metrics.account(&ev);
+        self.attr.observe(at.as_nanos(), &ev);
         self.ring.push(TimedEvent { at, ev });
+    }
+
+    /// The tail-attribution accountant's aggregated stats so far.
+    pub fn phases(&mut self) -> &PhaseStats {
+        self.attr.stats()
+    }
+
+    /// Drains the accountant's aggregated stats for a report, leaving
+    /// an empty accountant behind.
+    pub fn take_phases(&mut self) -> PhaseStats {
+        self.attr.take_stats()
+    }
+
+    /// Turns the phase accountant on or off. Attribution ships
+    /// always-on; the off switch exists only for `lp-bench`'s
+    /// attribution-overhead section (see [`Attribution::set_enabled`]).
+    pub fn set_attribution_enabled(&mut self, on: bool) {
+        self.attr.set_enabled(on);
     }
 
     /// The metrics registry.
